@@ -1,0 +1,23 @@
+package rdfalign
+
+import "rdfalign/internal/archive"
+
+// The compact multi-version representation the paper proposes as future
+// work (§6): triples decorated with version intervals, over entities
+// chained through the alignments. See internal/archive for details.
+type (
+	// Archive stores a sequence of graph versions compactly and can
+	// reconstruct any version exactly.
+	Archive = archive.Archive
+	// ArchiveOptions configures archive construction.
+	ArchiveOptions = archive.BuildOptions
+	// ArchiveStats summarises an archive, including the §6
+	// enter/leave-with-subject coupling measurements.
+	ArchiveStats = archive.Stats
+)
+
+// BuildArchive archives a sequence of graph versions, aligning consecutive
+// versions to chain node identities.
+func BuildArchive(graphs []*Graph, opt ArchiveOptions) (*Archive, error) {
+	return archive.Build(graphs, opt)
+}

@@ -1,0 +1,268 @@
+package rdfalign
+
+// Benchmark harness: one testing.B benchmark per evaluation figure of
+// Buneman & Staworko (PVLDB 2016), §5, plus the DESIGN.md ablations and
+// per-method micro-benchmarks. Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The figure benchmarks run at a reduced scale so the full suite completes
+// in minutes; cmd/benchfig regenerates the figures at the EXPERIMENTS.md
+// scale (and beyond, with -scale).
+
+import (
+	"sync"
+	"testing"
+
+	"rdfalign/internal/experiments"
+)
+
+// benchConfig is a reduced-scale configuration for the figure benchmarks.
+func benchConfig() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.EFOScale = 0.02
+	cfg.GtoPdbScale = 0.008
+	cfg.DBpediaScale = 0.002
+	return cfg
+}
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiments.Env
+)
+
+// env returns a shared environment so dataset generation cost is paid once
+// across the figure benchmarks (the per-figure alignment work is what each
+// benchmark times; the first iteration of each also warms the pair cache,
+// which is the cost a user of benchfig pays).
+func env() *experiments.Env {
+	benchEnvOnce.Do(func() { benchEnv = experiments.NewEnv(benchConfig()) })
+	return benchEnv
+}
+
+func BenchmarkFig09EFODatasetStats(b *testing.B) {
+	e := env()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := e.Fig9()
+		if len(r.Stats) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFig10TrivialDeblankMatrix(b *testing.B) {
+	e := env()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := e.Fig10()
+		if len(r.Trivial) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFig11HybridOverlapGains(b *testing.B) {
+	e := env()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := e.Fig11()
+		if len(r.HybridVsDeblank) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFig12GtoPdbDatasetStats(b *testing.B) {
+	e := env()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := e.Fig12()
+		if len(r.Stats) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFig13GtoPdbAlignments(b *testing.B) {
+	e := env()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := e.Fig13()
+		if len(r.Rows) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFig14GtoPdbPrecision(b *testing.B) {
+	e := env()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := e.Fig14()
+		if len(r.Rows) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFig15ThresholdSweep(b *testing.B) {
+	e := env()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := e.Fig15()
+		if len(r.Rows) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFig16DBpediaScalability(b *testing.B) {
+	e := env()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := e.Fig16()
+		if len(r.Rows) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkAblationSigmaEditVsOverlap(b *testing.B) {
+	e := env()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := e.AblationSigmaEdit()
+		if r.TheoremViolations != 0 {
+			b.Fatalf("Theorem 1 violations: %d", r.TheoremViolations)
+		}
+	}
+}
+
+func BenchmarkAblationPrefixFilter(b *testing.B) {
+	e := env()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := e.AblationPrefixFilter()
+		if r.HeuristicPairs != r.BrutePairs {
+			b.Fatal("prefix filter lost pairs")
+		}
+	}
+}
+
+func BenchmarkAblationInterner(b *testing.B) {
+	e := env()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := e.AblationRefinement()
+		if !r.Agree {
+			b.Fatal("solvers disagree")
+		}
+	}
+}
+
+func BenchmarkAblationContext(b *testing.B) {
+	e := env()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := e.AblationContext()
+		if r.OutPrecision.Total() == 0 {
+			b.Fatal("empty ablation")
+		}
+	}
+}
+
+func BenchmarkAblationFlooding(b *testing.B) {
+	e := env()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := e.AblationFlooding()
+		if r.GtoPdbPCG != 0 {
+			b.Fatal("flooding found pairs on prefix-disjoint data")
+		}
+	}
+}
+
+func BenchmarkArchiveExperiment(b *testing.B) {
+	e := env()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := e.ExperimentArchive()
+		if len(r.Rows) == 0 {
+			b.Fatal("empty archive experiment")
+		}
+	}
+}
+
+// Per-method micro-benchmarks on one consecutive GtoPdb pair, timing the
+// full Align call (union + partitioning + method work).
+
+func benchAlign(b *testing.B, m Method) {
+	b.Helper()
+	d, err := GenerateGtoPdb(GtoPdbConfig{Versions: 2, Scale: 0.008, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g1, g2 := d.Graphs[0], d.Graphs[1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Align(g1, g2, Options{Method: m}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlignTrivial(b *testing.B) { benchAlign(b, Trivial) }
+func BenchmarkAlignDeblank(b *testing.B) { benchAlign(b, Deblank) }
+func BenchmarkAlignHybrid(b *testing.B)  { benchAlign(b, Hybrid) }
+func BenchmarkAlignOverlap(b *testing.B) { benchAlign(b, Overlap) }
+
+func BenchmarkAlignSigmaEditSmall(b *testing.B) {
+	// σEdit is the quadratic baseline: bench it on a much smaller pair.
+	d, err := GenerateGtoPdb(GtoPdbConfig{Versions: 2, Scale: 0.001, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g1, g2 := d.Graphs[0], d.Graphs[1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Align(g1, g2, Options{Method: SigmaEdit}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseNTriples(b *testing.B) {
+	d, err := GenerateEFO(EFOConfig{Versions: 1, Scale: 0.02, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := formatGraph(d.Graphs[0])
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseNTriplesString(doc, "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func formatGraph(g *Graph) string {
+	var sb stringsBuilder
+	if err := WriteNTriples(&sb, g); err != nil {
+		panic(err)
+	}
+	return sb.String()
+}
+
+// stringsBuilder avoids importing strings just for the one benchmark.
+type stringsBuilder struct{ buf []byte }
+
+func (s *stringsBuilder) Write(p []byte) (int, error) {
+	s.buf = append(s.buf, p...)
+	return len(p), nil
+}
+func (s *stringsBuilder) String() string { return string(s.buf) }

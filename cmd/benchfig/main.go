@@ -1,0 +1,85 @@
+// Command benchfig regenerates the evaluation figures of Buneman &
+// Staworko (PVLDB 2016) on the synthetic datasets:
+//
+//	benchfig -fig 9          # EFO dataset sizes
+//	benchfig -fig 10         # Trivial/Deblank aligned-edge matrices
+//	benchfig -fig 11         # Hybrid and Overlap gains
+//	benchfig -fig 12         # GtoPdb dataset sizes
+//	benchfig -fig 13         # aligned entities per consecutive pair
+//	benchfig -fig 14         # precision vs ground truth
+//	benchfig -fig 15         # threshold sweep on versions 3–4
+//	benchfig -fig 16         # DBpedia scalability timings
+//	benchfig -fig all        # everything, in order
+//	benchfig -fig ablations  # the DESIGN.md ablations
+//
+// Scales are relative to the paper's dataset sizes; -scale multiplies the
+// defaults (which regenerate each figure in seconds).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rdfalign/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 9…16, all, or ablations")
+	scale := flag.Float64("scale", 1.0, "multiplier on the default dataset scales")
+	seed := flag.Int64("seed", 0, "override the dataset seed (0 = default)")
+	theta := flag.Float64("theta", 0, "override θ (0 = paper default 0.65)")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.EFOScale *= *scale
+	cfg.GtoPdbScale *= *scale
+	cfg.DBpediaScale *= *scale
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *theta != 0 {
+		cfg.Theta = *theta
+	}
+	env := experiments.NewEnv(cfg)
+
+	runners := map[string]func() fmt.Stringer{
+		"9":  func() fmt.Stringer { return env.Fig9() },
+		"10": func() fmt.Stringer { return env.Fig10() },
+		"11": func() fmt.Stringer { return env.Fig11() },
+		"12": func() fmt.Stringer { return env.Fig12() },
+		"13": func() fmt.Stringer { return env.Fig13() },
+		"14": func() fmt.Stringer { return env.Fig14() },
+		"15": func() fmt.Stringer { return env.Fig15() },
+		"16": func() fmt.Stringer { return env.Fig16() },
+	}
+	order := []string{"9", "10", "11", "12", "13", "14", "15", "16"}
+	ablations := []func() fmt.Stringer{
+		func() fmt.Stringer { return env.AblationSigmaEdit() },
+		func() fmt.Stringer { return env.AblationPrefixFilter() },
+		func() fmt.Stringer { return env.AblationRefinement() },
+		func() fmt.Stringer { return env.AblationContext() },
+		func() fmt.Stringer { return env.AblationFlooding() },
+	}
+
+	switch *fig {
+	case "all":
+		for _, f := range order {
+			fmt.Println(runners[f]())
+		}
+	case "ablations":
+		for _, f := range ablations {
+			fmt.Println(f())
+		}
+	case "archive":
+		fmt.Println(env.ExperimentArchive())
+	default:
+		run, ok := runners[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchfig: unknown figure %q\n", *fig)
+			flag.Usage()
+			os.Exit(2)
+		}
+		fmt.Println(run())
+	}
+}

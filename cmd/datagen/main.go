@@ -1,0 +1,128 @@
+// Command datagen writes the synthetic evaluation datasets as N-Triples
+// files, one per version:
+//
+//	datagen -dataset gtopdb -scale 0.02 -versions 10 -out /tmp/gtopdb
+//
+// generates /tmp/gtopdb/v1.nt … v10.nt (plus truth files mapping URIs of
+// consecutive versions, for datasets that have a ground truth).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"rdfalign"
+)
+
+func main() {
+	ds := flag.String("dataset", "gtopdb", "dataset: efo, gtopdb, dbpedia")
+	scale := flag.Float64("scale", 0, "scale relative to the paper's sizes (0 = dataset default)")
+	versions := flag.Int("versions", 0, "number of versions (0 = dataset default)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", ".", "output directory")
+	format := flag.String("format", "nt", "output format: nt (N-Triples) or ttl (Turtle)")
+	flag.Parse()
+	if *format != "nt" && *format != "ttl" {
+		fatal(fmt.Errorf("unknown format %q (nt, ttl)", *format))
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	var graphs []*rdfalign.Graph
+	var truths []func(i, j int) *rdfalign.GroundTruth
+	switch *ds {
+	case "efo":
+		d, err := rdfalign.GenerateEFO(rdfalign.EFOConfig{Versions: *versions, Scale: *scale, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		graphs = d.Graphs
+		truths = append(truths, d.GroundTruth)
+	case "gtopdb":
+		d, err := rdfalign.GenerateGtoPdb(rdfalign.GtoPdbConfig{Versions: *versions, Scale: *scale, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		graphs = d.Graphs
+		truths = append(truths, d.GroundTruth)
+	case "dbpedia":
+		d, err := rdfalign.GenerateDBpedia(rdfalign.DBpediaConfig{Versions: *versions, Scale: *scale, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		graphs = d.Graphs
+	default:
+		fatal(fmt.Errorf("unknown dataset %q (efo, gtopdb, dbpedia)", *ds))
+	}
+
+	for i, g := range graphs {
+		path := filepath.Join(*out, fmt.Sprintf("v%d.%s", i+1, *format))
+		if err := writeGraph(path, g, *format); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: %s\n", path, rdfalign.GatherStats(g))
+	}
+	for _, gt := range truths {
+		for i := 0; i+1 < len(graphs); i++ {
+			tr := gt(i, i+1)
+			path := filepath.Join(*out, fmt.Sprintf("truth-v%d-v%d.tsv", i+1, i+2))
+			if err := writeTruth(path, tr, graphs[i]); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s: %d pairs\n", path, tr.Size())
+		}
+	}
+}
+
+func writeGraph(path string, g *rdfalign.Graph, format string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if format == "ttl" {
+		err = rdfalign.WriteTurtle(w, g)
+	} else {
+		err = rdfalign.WriteNTriples(w, g)
+	}
+	if err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func writeTruth(path string, tr *rdfalign.GroundTruth, src *rdfalign.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	var lines []string
+	src.Nodes(func(n rdfalign.NodeID) {
+		if !src.IsURI(n) {
+			return
+		}
+		su := src.Label(n).Value
+		if tu, ok := tr.TargetOf(su); ok {
+			lines = append(lines, su+"\t"+tu)
+		}
+	})
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+	return w.Flush()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+package rdfalign
+
+import (
+	"rdfalign/internal/dataset"
+	"rdfalign/internal/rdf"
+	"rdfalign/internal/truth"
+)
+
+// The synthetic evaluation datasets of the paper's Section 5, re-exported
+// for examples, tools and downstream experimentation. Each generator is
+// deterministic in its seed and documents (in internal/dataset and
+// DESIGN.md) how it preserves the behaviour of the real dataset it stands
+// in for.
+type (
+	// EFOConfig sizes the EFO-like evolving ontology (§5.1).
+	EFOConfig = dataset.EFOConfig
+	// EFODataset is the generated EFO-like dataset.
+	EFODataset = dataset.EFO
+	// GtoPdbConfig sizes the GtoPdb-like relational dataset (§5.2).
+	GtoPdbConfig = dataset.GtoPdbConfig
+	// GtoPdbDataset is the generated GtoPdb-like dataset.
+	GtoPdbDataset = dataset.GtoPdb
+	// DBpediaConfig sizes the DBpedia-like category dataset (§5.3).
+	DBpediaConfig = dataset.DBpediaConfig
+	// DBpediaDataset is the generated DBpedia-like dataset.
+	DBpediaDataset = dataset.DBpedia
+
+	// GroundTruth is a 1-to-1 reference alignment over URI labels.
+	GroundTruth = truth.Truth
+	// Precision tallies exact/inclusive/missing/false matches against a
+	// ground truth (the metric of the paper's Figure 14).
+	Precision = truth.Precision
+)
+
+// GenerateEFO builds the EFO-like dataset.
+func GenerateEFO(cfg EFOConfig) (*EFODataset, error) { return dataset.GenerateEFO(cfg) }
+
+// GenerateGtoPdb builds the GtoPdb-like dataset.
+func GenerateGtoPdb(cfg GtoPdbConfig) (*GtoPdbDataset, error) { return dataset.GenerateGtoPdb(cfg) }
+
+// GenerateDBpedia builds the DBpedia-like dataset.
+func GenerateDBpedia(cfg DBpediaConfig) (*DBpediaDataset, error) { return dataset.GenerateDBpedia(cfg) }
+
+// NewGroundTruth returns an empty ground truth; add pairs with Add.
+func NewGroundTruth() *GroundTruth { return truth.New() }
+
+// Classify evaluates an alignment against a ground truth over the source
+// graph's URIs, counting exact, inclusive, missing and false matches.
+func Classify(a *Alignment, tr *GroundTruth) Precision {
+	return truth.Classify(a.c, func(n rdf.NodeID) []rdf.NodeID { return a.MatchesOf(n) }, tr)
+}

@@ -1,0 +1,24 @@
+package rdfalign
+
+import (
+	"rdfalign/internal/delta"
+)
+
+// Delta is a change description between two versions derived from an
+// alignment (the paper's related work: "constructing an alignment between
+// two graphs is virtually equivalent to constructing their delta"): the
+// counts of retained triples plus the removed and added triples, at the
+// atomic node/label level.
+type Delta = delta.Delta
+
+// ComputeDelta derives the delta of the aligned pair. It is defined for
+// the partition-backed methods (Trivial, Deblank, Hybrid, Overlap).
+func ComputeDelta(a *Alignment) *Delta {
+	return delta.Compute(a.c, a.part)
+}
+
+// FormatDelta renders the delta as a patch-style listing using the
+// alignment's source and target graphs for labels.
+func FormatDelta(a *Alignment, d *Delta) string {
+	return d.Format(a.c.SourceGraph(), a.c.TargetGraph())
+}

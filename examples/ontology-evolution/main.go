@@ -1,0 +1,57 @@
+// Ontology evolution: generate an EFO-like evolving ontology (the §5.1
+// workload — blank-node axioms, literal-heavy annotation, and a URI prefix
+// migration), align consecutive versions with every bisimulation method,
+// and score the results against the generator's ground truth.
+//
+// Run with: go run ./examples/ontology-evolution
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rdfalign"
+)
+
+func main() {
+	d, err := rdfalign.GenerateEFO(rdfalign.EFOConfig{
+		Versions: 10,
+		Scale:    0.02,
+		Seed:     42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, g := range d.Graphs {
+		fmt.Printf("v%-2d %s\n", i+1, rdfalign.GatherStats(g))
+	}
+	fmt.Println()
+
+	fmt.Println("pair   method    edge-ratio  exact  incl  false  miss")
+	for v := 0; v+1 < len(d.Graphs); v++ {
+		tr := d.GroundTruth(v, v+1)
+		for _, m := range []rdfalign.Method{rdfalign.Deblank, rdfalign.Hybrid, rdfalign.Overlap} {
+			a, err := rdfalign.Align(d.Graphs[v], d.Graphs[v+1], rdfalign.Options{Method: m})
+			if err != nil {
+				log.Fatal(err)
+			}
+			p := rdfalign.Classify(a, tr)
+			fmt.Printf("%d-%-3d %-9s %10.4f %6d %5d %6d %5d\n",
+				v+1, v+2, m, a.EdgeStats().Ratio(),
+				p.Exact, p.Inclusive, p.False, p.Missing)
+		}
+	}
+
+	// The interesting pair: versions 7→8 carry the bulk URI prefix
+	// migration; Hybrid aligns the renamed classes that Deblank misses.
+	fmt.Println("\nversions 7→8 (bulk prefix migration http://purl.org/obo/owl/ → http://purl.obolibrary.org/obo/):")
+	for _, m := range []rdfalign.Method{rdfalign.Deblank, rdfalign.Hybrid} {
+		a, err := rdfalign.Align(d.Graphs[6], d.Graphs[7], rdfalign.Options{Method: m})
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := rdfalign.Classify(a, d.GroundTruth(6, 7))
+		fmt.Printf("  %-8s misses %d of %d renamed-or-stable classes\n",
+			m, p.Missing, d.GroundTruth(6, 7).Size())
+	}
+}

@@ -1,0 +1,123 @@
+// Relational export: the §5.2 scenario end to end, on data you build
+// yourself. A small product database is exported to RDF twice — by two
+// "services" using different URI prefixes, after the database evolved in
+// between — and the alignment methods reconnect the two exports without any
+// shared URIs.
+//
+// Run with: go run ./examples/relational-export
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rdfalign"
+)
+
+func buildCatalog() *rdfalign.RelDatabase {
+	db := rdfalign.NewRelDatabase()
+	must(db.CreateTable(rdfalign.RelSchema{
+		Name: "vendor",
+		Columns: []rdfalign.RelColumn{
+			{Name: "id", Type: rdfalign.RelInt},
+			{Name: "name", Type: rdfalign.RelText},
+			{Name: "country", Type: rdfalign.RelText},
+		},
+		Key: []string{"id"},
+	}))
+	must(db.CreateTable(rdfalign.RelSchema{
+		Name: "product",
+		Columns: []rdfalign.RelColumn{
+			{Name: "id", Type: rdfalign.RelInt},
+			{Name: "vendor_id", Type: rdfalign.RelInt},
+			{Name: "name", Type: rdfalign.RelText},
+			{Name: "price", Type: rdfalign.RelFloat},
+		},
+		Key:         []string{"id"},
+		ForeignKeys: []rdfalign.RelForeignKey{{Column: "vendor_id", RefTable: "vendor"}},
+	}))
+	must(db.Insert("vendor", map[string]rdfalign.RelValue{
+		"id": rdfalign.RelIntValue(1), "name": rdfalign.RelTextValue("Auld Reekie Brewing"),
+		"country": rdfalign.RelTextValue("Scotland"),
+	}))
+	must(db.Insert("vendor", map[string]rdfalign.RelValue{
+		"id": rdfalign.RelIntValue(2), "name": rdfalign.RelTextValue("Lille Distillerie"),
+		"country": rdfalign.RelTextValue("France"),
+	}))
+	must(db.Insert("product", map[string]rdfalign.RelValue{
+		"id": rdfalign.RelIntValue(10), "vendor_id": rdfalign.RelIntValue(1),
+		"name": rdfalign.RelTextValue("Heavy Export Ale"), "price": rdfalign.RelFloatValue(4.50),
+	}))
+	must(db.Insert("product", map[string]rdfalign.RelValue{
+		"id": rdfalign.RelIntValue(11), "vendor_id": rdfalign.RelIntValue(2),
+		"name": rdfalign.RelTextValue("Genievre Classique"), "price": rdfalign.RelFloatValue(18.00),
+	}))
+	return db
+}
+
+func main() {
+	db := buildCatalog()
+
+	// Service A exports today's state.
+	g1, err := rdfalign.DirectMap(db, rdfalign.MappingOptions{Prefix: "http://service-a.example/data/"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The database evolves: a price update, a typo fix, a new product.
+	must(db.Update("product", "10", "price", rdfalign.RelFloatValue(4.80)))
+	must(db.Update("vendor", "2", "name", rdfalign.RelTextValue("Lille Distillerie SA")))
+	must(db.Insert("product", map[string]rdfalign.RelValue{
+		"id": rdfalign.RelIntValue(12), "vendor_id": rdfalign.RelIntValue(1),
+		"name": rdfalign.RelTextValue("Light Session Ale"), "price": rdfalign.RelFloatValue(3.20),
+	}))
+
+	// Service B exports the evolved state under its own prefix.
+	g2, err := rdfalign.DirectMap(db, rdfalign.MappingOptions{Prefix: "http://service-b.example/rdf/"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("export A:", rdfalign.GatherStats(g1))
+	fmt.Println("export B:", rdfalign.GatherStats(g2))
+
+	// No URIs are shared, so Trivial aligns no resources…
+	trivial, err := rdfalign.Align(g1, g2, rdfalign.Options{Method: rdfalign.Trivial})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntrivial: %d URI entities aligned (no shared URIs)\n",
+		trivial.AlignedEntityCount(true))
+
+	// …but Overlap reconnects the tuples from content and structure.
+	overlap, err := rdfalign.Align(g1, g2, rdfalign.Options{Method: rdfalign.Overlap, Theta: 0.65})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("overlap: %d URI entities aligned; unambiguous tuple matches:\n",
+		overlap.AlignedEntityCount(true))
+	ambiguous := 0
+	g1.Nodes(func(n1 rdfalign.NodeID) {
+		if !g1.IsURI(n1) {
+			return
+		}
+		matches := overlap.MatchesOfURI(g1.Label(n1).Value)
+		switch {
+		case len(matches) == 1:
+			fmt.Printf("  %-45s ≈ %s\n", g1.Label(n1).Value, matches[0])
+		case len(matches) > 1:
+			// Predicate and table URIs have no outgoing edges of
+			// their own, so they collapse into one cluster — the
+			// known limitation §5.1 reports for predicate-only
+			// URIs.
+			ambiguous++
+		}
+	})
+	fmt.Printf("  (%d schema-level URIs aligned ambiguously — the §5.1 predicate caveat)\n", ambiguous)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+// Versioned archive: the paper's §6 future-work proposal, runnable. Ten
+// versions of an evolving ontology are stored as one archive — triples
+// annotated with version intervals over alignment-chained entities — and
+// every version is reconstructed exactly. The run also measures the
+// observation §6 bases its design on: triples tend to enter and leave the
+// history together with their subject.
+//
+// Run with: go run ./examples/versioned-archive
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"rdfalign"
+)
+
+func main() {
+	d, err := rdfalign.GenerateEFO(rdfalign.EFOConfig{Versions: 10, Scale: 0.02, Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := 0
+	for _, g := range d.Graphs {
+		total += g.NumTriples()
+	}
+
+	a, err := rdfalign.BuildArchive(d.Graphs, rdfalign.ArchiveOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := a.GatherStats()
+	fmt.Printf("archived %d versions, %d triples total\n", st.Versions, st.TotalTriples)
+	fmt.Printf("archive rows: %d (%.1f%% of per-version storage), %d entities\n",
+		st.Rows, 100*st.CompressionRatio, st.Entities)
+	if st.EnterEvents > 0 {
+		fmt.Printf("triples entering with their subject: %d of %d (%.0f%%)\n",
+			st.EnterWithSubject, st.EnterEvents,
+			100*float64(st.EnterWithSubject)/float64(st.EnterEvents))
+	}
+	if st.LeaveEvents > 0 {
+		fmt.Printf("triples leaving with their subject:  %d of %d (%.0f%%)\n",
+			st.LeaveWithSubject, st.LeaveEvents,
+			100*float64(st.LeaveWithSubject)/float64(st.LeaveEvents))
+	}
+
+	// Verify exact reconstruction of every version.
+	for v, g := range d.Graphs {
+		snap, err := a.Snapshot(v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !sameTriples(snap, g) {
+			log.Fatalf("version %d did not round-trip", v+1)
+		}
+	}
+	fmt.Println("all versions reconstructed exactly ✓")
+}
+
+func sameTriples(a, b *rdfalign.Graph) bool {
+	return fmt.Sprint(labelTriples(a)) == fmt.Sprint(labelTriples(b))
+}
+
+func labelTriples(g *rdfalign.Graph) []string {
+	var out []string
+	for _, t := range g.Triples() {
+		out = append(out, g.Label(t.S).String()+" "+g.Label(t.P).String()+" "+g.Label(t.O).String())
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"sort"
+
+	"rdfalign/internal/rdf"
+)
+
+// Alignment is the relation Align(λ) ⊆ N1 × N2 defined by a partition of a
+// combined graph (§3.1), optionally restricted by a weighted partition's
+// threshold (§4.3: Align_θ(ξ) additionally requires ω(n) ⊕ ω(m) < θ).
+type Alignment struct {
+	C *rdf.Combined
+	P *Partition
+	// W and Theta are set for alignments defined by a weighted partition;
+	// W is nil for plain partition alignments.
+	W     []float64
+	Theta float64
+}
+
+// NewAlignment wraps a partition alignment Align(λ).
+func NewAlignment(c *rdf.Combined, p *Partition) *Alignment {
+	return &Alignment{C: c, P: p}
+}
+
+// NewWeightedAlignment wraps Align_θ(ξ).
+func NewWeightedAlignment(c *rdf.Combined, xi *Weighted, theta float64) *Alignment {
+	return &Alignment{C: c, P: xi.P, W: xi.W, Theta: theta}
+}
+
+// Aligned reports whether the pair (n1, n2) — given as G1 and G2 node IDs —
+// is in the alignment.
+func (a *Alignment) Aligned(n1, n2 rdf.NodeID) bool {
+	cn := a.C.FromSource(n1)
+	cm := a.C.FromTarget(n2)
+	if a.P.colors[cn] != a.P.colors[cm] {
+		return false
+	}
+	if a.W != nil {
+		return OPlus(a.W[cn], a.W[cm]) < a.Theta
+	}
+	return true
+}
+
+// MatchesOf returns the sorted G2 node IDs aligned with the G1 node n1.
+func (a *Alignment) MatchesOf(n1 rdf.NodeID) []rdf.NodeID {
+	var out []rdf.NodeID
+	col := a.P.colors[a.C.FromSource(n1)]
+	for i := a.C.N1; i < a.C.N1+a.C.N2; i++ {
+		cm := rdf.NodeID(i)
+		if a.P.colors[cm] != col {
+			continue
+		}
+		if a.W != nil && OPlus(a.W[a.C.FromSource(n1)], a.W[cm]) >= a.Theta {
+			continue
+		}
+		out = append(out, a.C.ToTarget(cm))
+	}
+	return out
+}
+
+// Pairs calls f for every aligned pair, in sorted (n1, n2) order. Intended
+// for tests and tools; the pair set can be quadratic in pathological cases.
+func (a *Alignment) Pairs(f func(n1, n2 rdf.NodeID)) {
+	byColor := make(map[Color][]rdf.NodeID)
+	for i := a.C.N1; i < a.C.N1+a.C.N2; i++ {
+		c := a.P.colors[i]
+		byColor[c] = append(byColor[c], rdf.NodeID(i))
+	}
+	for n1 := 0; n1 < a.C.N1; n1++ {
+		cn := rdf.NodeID(n1)
+		for _, cm := range byColor[a.P.colors[cn]] {
+			if a.W != nil && OPlus(a.W[cn], a.W[cm]) >= a.Theta {
+				continue
+			}
+			f(cn, a.C.ToTarget(cm))
+		}
+	}
+}
+
+// PairCount returns |Align|.
+func (a *Alignment) PairCount() int {
+	total := 0
+	a.Pairs(func(_, _ rdf.NodeID) { total++ })
+	return total
+}
+
+// AlignedEntityCount returns the number of equivalence classes containing
+// nodes from both sides — the duplicate-free count of aligned entities used
+// in the paper's Figure 13 ("any two URIs coming from two versions but
+// representing the same tuple are counted as one"). The onlyURIs flag
+// restricts the count to classes containing a URI node, matching the
+// GtoPdb evaluation where ground truth covers resource URIs.
+func (a *Alignment) AlignedEntityCount(onlyURIs bool) int {
+	type info struct {
+		src, tgt bool
+		uri      bool
+	}
+	m := make(map[Color]*info)
+	for i, col := range a.P.colors {
+		inf := m[col]
+		if inf == nil {
+			inf = &info{}
+			m[col] = inf
+		}
+		n := rdf.NodeID(i)
+		if i < a.C.N1 {
+			inf.src = true
+		} else {
+			inf.tgt = true
+		}
+		if a.C.IsURI(n) {
+			inf.uri = true
+		}
+	}
+	total := 0
+	for _, inf := range m {
+		if inf.src && inf.tgt && (!onlyURIs || inf.uri) {
+			total++
+		}
+	}
+	return total
+}
+
+// HasCrossover verifies the crossover property of partition-defined
+// alignments (§3.1): whenever (n,m), (n,m') and (n',m) are aligned, so is
+// (n',m'). It holds by construction for Alignment; the check exists for the
+// property tests.
+func (a *Alignment) HasCrossover() bool {
+	type pair struct{ n1, n2 rdf.NodeID }
+	pairs := map[pair]bool{}
+	bySrc := map[rdf.NodeID][]rdf.NodeID{}
+	byTgt := map[rdf.NodeID][]rdf.NodeID{}
+	a.Pairs(func(n1, n2 rdf.NodeID) {
+		pairs[pair{n1, n2}] = true
+		bySrc[n1] = append(bySrc[n1], n2)
+		byTgt[n2] = append(byTgt[n2], n1)
+	})
+	for p := range pairs {
+		for _, m2 := range bySrc[p.n1] {
+			for _, n2 := range byTgt[p.n2] {
+				if !pairs[pair{n2, m2}] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// edgeSig is the color image of a triple under a partition.
+type edgeSig struct {
+	s, p, o Color
+}
+
+// EdgeAlignStats reports how many edge signatures — triples mapped through
+// λ as (λ(s), λ(p), λ(o)) — occur in the source version, the target
+// version, and both. It is the basis of the aligned-edge ratios of
+// Figures 10 and 11: "edges using precisely the same identifiers are
+// counted precisely once" corresponds to working with signature sets.
+type EdgeAlignStats struct {
+	Source int // distinct signatures among G1 edges
+	Target int // distinct signatures among G2 edges
+	Common int // signatures occurring on both sides
+}
+
+// Union returns |sig(E1) ∪ sig(E2)|.
+func (s EdgeAlignStats) Union() int { return s.Source + s.Target - s.Common }
+
+// Ratio returns the aligned-edge ratio |sig(E1) ∩ sig(E2)| / |sig(E1) ∪
+// sig(E2)| ∈ [0, 1]; 1 for a complete alignment of identical versions.
+func (s EdgeAlignStats) Ratio() float64 {
+	u := s.Union()
+	if u == 0 {
+		return 1
+	}
+	return float64(s.Common) / float64(u)
+}
+
+// EdgeAlignment computes EdgeAlignStats for a partition over a combined
+// graph.
+func EdgeAlignment(c *rdf.Combined, p *Partition) EdgeAlignStats {
+	const (
+		inSrc = 1 << 0
+		inTgt = 1 << 1
+	)
+	seen := make(map[edgeSig]uint8, c.NumTriples())
+	n1 := rdf.NodeID(c.N1)
+	for _, t := range c.Triples() {
+		sig := edgeSig{s: p.colors[t.S], p: p.colors[t.P], o: p.colors[t.O]}
+		if t.S < n1 {
+			seen[sig] |= inSrc
+		} else {
+			seen[sig] |= inTgt
+		}
+	}
+	var st EdgeAlignStats
+	for _, sides := range seen {
+		if sides&inSrc != 0 {
+			st.Source++
+		}
+		if sides&inTgt != 0 {
+			st.Target++
+		}
+		if sides == inSrc|inTgt {
+			st.Common++
+		}
+	}
+	return st
+}
+
+// AlignedNodeStats counts, per side, how many nodes are aligned (belong to a
+// class with members on the opposite side), optionally restricted to URIs.
+type AlignedNodeStats struct {
+	Source int
+	Target int
+}
+
+// AlignedNodes computes AlignedNodeStats for a partition.
+func AlignedNodes(c *rdf.Combined, p *Partition, onlyURIs bool) AlignedNodeStats {
+	sides := classSides(c, p)
+	var st AlignedNodeStats
+	for i, col := range p.colors {
+		n := rdf.NodeID(i)
+		if onlyURIs && !c.IsURI(n) {
+			continue
+		}
+		sc := sides[col]
+		if i < c.N1 {
+			if sc.tgt > 0 {
+				st.Source++
+			}
+		} else {
+			if sc.src > 0 {
+				st.Target++
+			}
+		}
+	}
+	return st
+}
+
+// SortNodeIDs sorts a node ID slice in place and returns it. Exported for
+// sibling packages that must keep deterministic node orderings.
+func SortNodeIDs(ids []rdf.NodeID) []rdf.NodeID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,297 @@
+// Package core implements the alignment framework of Buneman & Staworko,
+// "RDF Graph Alignment with Bisimulation" (PVLDB 2016), Sections 2–3:
+// partitions represented by colors, the bisimulation partition-refinement
+// engine, the Trivial, Deblank and Hybrid alignment methods, weighted
+// partitions with propagation (§4.3, §4.5), and the evaluation metrics over
+// alignments used in Section 5.
+//
+// A partition assigns every node a color (§2.2); two nodes are aligned when
+// they have the same color. The bisimulation refinement recolors a node with
+// the combined colors of its outbound (predicate, object) pairs (§3.2,
+// equation 1); the color assigned to a node is conceptually a derivation
+// tree, represented compactly as a DAG by hash-consing every color into a
+// small integer (the "simple hashing technique" the paper alludes to).
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"rdfalign/internal/rdf"
+)
+
+// Color identifies an equivalence class. Colors are produced by an Interner
+// and are only meaningful relative to it; comparing colors from different
+// interners is a bug.
+type Color int32
+
+// NoColor is an invalid color, useful as a sentinel.
+const NoColor Color = -1
+
+// ColorPair is the color image of an outbound edge: (λ(p), λ(o)) for an
+// edge (p, o) ∈ out_G(n).
+type ColorPair struct {
+	P, O Color
+}
+
+// Interner hash-conses colors. Three constructions exist:
+//
+//   - Base(label): the color of a node label; all blank nodes share the one
+//     blank base color (the initial partition ℓ_G of §2.2),
+//   - Fresh(): a brand-new color equal only to itself (used by the trivial
+//     partition for blank nodes and by enrichment for new clusters),
+//   - Composite(prev, pairs): the refinement color
+//     (λ(n), {(λ(p), λ(o)) | (p,o) ∈ out(n)}) of §3.2 equation (1).
+//
+// Identical constructions yield identical Color values, so color equality
+// is integer equality and each refinement iteration costs O(Σ deg·log deg).
+//
+// An Interner is not safe for concurrent use.
+type Interner struct {
+	labels map[rdf.Label]Color
+	comps  map[string]Color
+	blank  Color
+	next   Color
+	// composites remembers the structure of composite colors so that
+	// derivation trees can be rendered for debugging and so tests can
+	// inspect the DAG. Index: composite color → entry.
+	composites map[Color]compositeEntry
+	keyBuf     []byte
+}
+
+// compositeEntry remembers a composite color's structure. lists[0] holds
+// the outbound pair set; directed composites add lists[1] (inbound pairs,
+// §3.3/§6 context) and adaptive composites lists[2] (predicate-occurrence
+// pairs, §5.1's suggested treatment of predicate-only URIs).
+type compositeEntry struct {
+	prev  Color
+	lists [][]ColorPair
+}
+
+// NewInterner returns an empty interner. The blank base color is
+// pre-allocated so that it is stable across uses.
+func NewInterner() *Interner {
+	in := &Interner{
+		labels:     make(map[rdf.Label]Color),
+		comps:      make(map[string]Color),
+		composites: make(map[Color]compositeEntry),
+	}
+	in.blank = in.Fresh()
+	in.labels[rdf.BlankLabel()] = in.blank
+	return in
+}
+
+// Size returns the number of colors allocated so far.
+func (in *Interner) Size() int { return int(in.next) }
+
+// Blank returns the shared base color of blank nodes.
+func (in *Interner) Blank() Color { return in.blank }
+
+// Fresh allocates a color equal only to itself.
+func (in *Interner) Fresh() Color {
+	c := in.next
+	in.next++
+	return c
+}
+
+// Base returns the color of a node label, allocating it on first use.
+// All blank labels map to the shared blank color.
+func (in *Interner) Base(l rdf.Label) Color {
+	if l.Kind == rdf.Blank {
+		return in.blank
+	}
+	if c, ok := in.labels[l]; ok {
+		return c
+	}
+	c := in.Fresh()
+	in.labels[l] = c
+	return c
+}
+
+// Composite returns the color (prev, set(pairs)). The pairs slice is sorted
+// and deduplicated in place (callers pass scratch buffers), implementing the
+// *set* of outbound pair colors from §3.2.
+//
+// Composite implements the derivation-tree semantics of §3.2–3.3: a color
+// stands for the unfolding tree of a node, and "the unfolding halts" at
+// stable subtrees (Example 3). Concretely, when prev is itself the
+// composite of the same pair set, re-composing is a no-op and prev is
+// returned unchanged. Without this collapse a node whose neighbourhood has
+// stabilised would receive a syntactically new (but semantically equal)
+// color every iteration, and frozen colors from an earlier refinement phase
+// (deblank colors inside hybrid, §3.4) could never be re-joined — breaking
+// the paper's identity Propagate((λTrivial,0)) ≡ (λHybrid,0) from §4.5.
+func (in *Interner) Composite(prev Color, pairs []ColorPair) Color {
+	sortPairs(pairs)
+	pairs = dedupPairs(pairs)
+	return in.compositeCanonical(prev, pairs)
+}
+
+// compositeCanonical is Composite for pair sets that are already sorted and
+// deduplicated (the parallel engine canonicalises in its gather phase).
+func (in *Interner) compositeCanonical(prev Color, pairs []ColorPair) Color {
+	if e, ok := in.composites[prev]; ok && len(e.lists) == 1 && pairsEqual(e.lists[0], pairs) {
+		return prev
+	}
+	key := in.compositeKey('P', prev, pairs)
+	if c, ok := in.comps[string(key)]; ok {
+		return c
+	}
+	c := in.Fresh()
+	in.comps[string(key)] = c
+	in.composites[c] = compositeEntry{prev: prev,
+		lists: [][]ColorPair{append([]ColorPair(nil), pairs...)}}
+	return c
+}
+
+// CompositeDirected is Composite extended with a second pair set gathered
+// from *incoming* edges — the color (λ(n), {(λ(p), λ(o))…}, {(λ(p),
+// λ(s))…}) of the context-aware refinement variant (§3.3: "the proposed
+// framework could easily accommodate approaches that consider the incoming
+// edges"). The same stable-tree collapse applies when both pair sets are
+// unchanged.
+func (in *Interner) CompositeDirected(prev Color, outPairs, inPairs []ColorPair) Color {
+	return in.CompositeLists(prev, outPairs, inPairs)
+}
+
+// CompositeLists is the general composite over any number of pair lists
+// (the slots are positional: callers fix a convention such as out/in/pred).
+// Each list is canonicalised independently; the stable-tree collapse
+// applies when prev carries the same number of lists with equal contents.
+func (in *Interner) CompositeLists(prev Color, lists ...[]ColorPair) Color {
+	for i := range lists {
+		sortPairs(lists[i])
+		lists[i] = dedupPairs(lists[i])
+	}
+	if e, ok := in.composites[prev]; ok && listsEqual(e.lists, lists) {
+		return prev
+	}
+	// Every list is length-prefixed so encodings cannot shift into each
+	// other; the leading count separates arities.
+	buf := append(in.keyBuf[:0], 'L')
+	buf = binary.AppendUvarint(buf, uint64(prev))
+	buf = binary.AppendUvarint(buf, uint64(len(lists)))
+	for _, pairs := range lists {
+		buf = binary.AppendUvarint(buf, uint64(len(pairs)))
+		for _, pr := range pairs {
+			buf = binary.AppendUvarint(buf, uint64(pr.P))
+			buf = binary.AppendUvarint(buf, uint64(pr.O))
+		}
+	}
+	in.keyBuf = buf
+	if c, ok := in.comps[string(buf)]; ok {
+		return c
+	}
+	c := in.Fresh()
+	in.comps[string(buf)] = c
+	stored := make([][]ColorPair, len(lists))
+	for i, pairs := range lists {
+		stored[i] = append([]ColorPair(nil), pairs...)
+	}
+	in.composites[c] = compositeEntry{prev: prev, lists: stored}
+	return c
+}
+
+func listsEqual(a, b [][]ColorPair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !pairsEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func pairsEqual(a, b []ColorPair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// compositeKey encodes (prev, pairs) canonically, with a leading tag byte
+// that keeps plain and directed keys disjoint. The buffer is reused across
+// calls; the map insert copies it via the string conversion.
+func (in *Interner) compositeKey(tag byte, prev Color, pairs []ColorPair) []byte {
+	buf := append(in.keyBuf[:0], tag)
+	buf = binary.AppendUvarint(buf, uint64(prev))
+	for _, pr := range pairs {
+		buf = binary.AppendUvarint(buf, uint64(pr.P))
+		buf = binary.AppendUvarint(buf, uint64(pr.O))
+	}
+	in.keyBuf = buf
+	return buf
+}
+
+// IsComposite reports whether c was produced by Composite, and if so
+// returns its parts. The returned slice must not be modified.
+func (in *Interner) IsComposite(c Color) (prev Color, pairs []ColorPair, ok bool) {
+	e, ok := in.composites[c]
+	if !ok {
+		return 0, nil, false
+	}
+	return e.prev, e.lists[0], true
+}
+
+// DerivationString renders the derivation DAG rooted at c up to the given
+// depth, for debugging and for the worked-example tests that mirror the
+// paper's Figures 4–6.
+func (in *Interner) DerivationString(c Color, depth int) string {
+	if depth <= 0 {
+		return "…"
+	}
+	e, ok := in.composites[c]
+	if !ok {
+		return fmt.Sprintf("c%d", c)
+	}
+	s := "(" + in.DerivationString(e.prev, depth-1) + " {"
+	for i, pr := range e.lists[0] {
+		if i > 0 {
+			s += " "
+		}
+		s += in.DerivationString(pr.P, depth-1) + "→" + in.DerivationString(pr.O, depth-1)
+	}
+	return s + "})"
+}
+
+func sortPairs(pairs []ColorPair) {
+	// Out-degrees are small in RDF data; insertion sort avoids the
+	// closure and interface overhead of sort.Slice on the hot path.
+	if len(pairs) <= 16 {
+		for i := 1; i < len(pairs); i++ {
+			for j := i; j > 0 && pairLess(pairs[j], pairs[j-1]); j-- {
+				pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+			}
+		}
+		return
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairLess(pairs[i], pairs[j]) })
+}
+
+func pairLess(a, b ColorPair) bool {
+	if a.P != b.P {
+		return a.P < b.P
+	}
+	return a.O < b.O
+}
+
+func dedupPairs(pairs []ColorPair) []ColorPair {
+	if len(pairs) < 2 {
+		return pairs
+	}
+	out := pairs[:1]
+	for _, pr := range pairs[1:] {
+		if pr != out[len(out)-1] {
+			out = append(out, pr)
+		}
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"rdfalign/internal/rdf"
+)
+
+func TestInternerBaseIdempotent(t *testing.T) {
+	in := NewInterner()
+	a := in.Base(rdf.URILabel("x"))
+	b := in.Base(rdf.URILabel("x"))
+	if a != b {
+		t.Error("Base is not idempotent for URIs")
+	}
+	if in.Base(rdf.LiteralLabel("x")) == a {
+		t.Error("URI and literal labels with equal text must differ")
+	}
+	if in.Base(rdf.BlankLabel()) != in.Blank() {
+		t.Error("blank label must map to the shared blank color")
+	}
+}
+
+func TestInternerFreshDistinct(t *testing.T) {
+	in := NewInterner()
+	if in.Fresh() == in.Fresh() {
+		t.Error("Fresh colors must be distinct")
+	}
+}
+
+func TestCompositeCanonicalisation(t *testing.T) {
+	in := NewInterner()
+	a := in.Fresh()
+	b := in.Fresh()
+	prev := in.Fresh()
+	c1 := in.Composite(prev, []ColorPair{{a, b}, {b, a}})
+	c2 := in.Composite(prev, []ColorPair{{b, a}, {a, b}})
+	if c1 != c2 {
+		t.Error("Composite must be order-insensitive (pair sets)")
+	}
+	c3 := in.Composite(prev, []ColorPair{{a, b}, {a, b}, {b, a}})
+	if c3 != c1 {
+		t.Error("Composite must deduplicate pairs (set semantics)")
+	}
+	c4 := in.Composite(prev, []ColorPair{{a, b}})
+	if c4 == c1 {
+		t.Error("different pair sets must give different colors")
+	}
+}
+
+func TestCompositeDistinguishesPrev(t *testing.T) {
+	in := NewInterner()
+	a := in.Fresh()
+	p1 := in.Fresh()
+	p2 := in.Fresh()
+	pair := []ColorPair{{a, a}}
+	c1 := in.Composite(p1, append([]ColorPair(nil), pair...))
+	c2 := in.Composite(p2, append([]ColorPair(nil), pair...))
+	if c1 == c2 {
+		t.Error("composites with different prev colors must differ")
+	}
+}
+
+// TestCompositeStableCollapse checks the derivation-tree collapse rule:
+// re-composing a composite with its own pair set is the identity, so a node
+// whose neighbourhood has stabilised keeps a stable color ("the unfolding
+// halts", §3.3 Example 3).
+func TestCompositeStableCollapse(t *testing.T) {
+	in := NewInterner()
+	base := in.Blank()
+	a := in.Fresh()
+	pairs := []ColorPair{{a, a}}
+	c1 := in.Composite(base, append([]ColorPair(nil), pairs...))
+	c2 := in.Composite(c1, append([]ColorPair(nil), pairs...))
+	if c2 != c1 {
+		t.Errorf("re-composing with identical pairs should collapse: %d vs %d", c1, c2)
+	}
+	// But composing with different pairs must not collapse.
+	c3 := in.Composite(c1, []ColorPair{{a, c1}})
+	if c3 == c1 {
+		t.Error("different pairs must produce a new color")
+	}
+}
+
+func TestIsComposite(t *testing.T) {
+	in := NewInterner()
+	base := in.Base(rdf.URILabel("u"))
+	if _, _, ok := in.IsComposite(base); ok {
+		t.Error("base colors are not composite")
+	}
+	a := in.Fresh()
+	c := in.Composite(base, []ColorPair{{a, a}})
+	prev, pairs, ok := in.IsComposite(c)
+	if !ok || prev != base || len(pairs) != 1 || pairs[0] != (ColorPair{a, a}) {
+		t.Errorf("IsComposite round trip failed: %v %v %v", prev, pairs, ok)
+	}
+}
+
+func TestDerivationString(t *testing.T) {
+	in := NewInterner()
+	base := in.Base(rdf.URILabel("u"))
+	c := in.Composite(base, []ColorPair{{base, base}})
+	s := in.DerivationString(c, 3)
+	if s == "" || s == "…" {
+		t.Errorf("DerivationString = %q", s)
+	}
+	if in.DerivationString(c, 0) != "…" {
+		t.Error("depth 0 should elide")
+	}
+}
+
+func TestInternerSize(t *testing.T) {
+	in := NewInterner()
+	n0 := in.Size()
+	in.Fresh()
+	if in.Size() != n0+1 {
+		t.Error("Size should count allocations")
+	}
+}

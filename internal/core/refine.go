@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"rdfalign/internal/rdf"
+)
+
+// DefaultMaxIterations caps refinement fixpoint loops. Refinement is
+// guaranteed to terminate after at most |N_G| iterations (each non-final
+// iteration strictly increases the class count, which is bounded by the node
+// count), so the cap exists only to convert would-be infinite loops from
+// implementation bugs into loud failures.
+const DefaultMaxIterations = 1 << 20
+
+// recolor computes recolor_λ(n) = (λ(n), {(λ(p), λ(o)) | (p,o) ∈ out(n)})
+// (§3.2 equation 1) using the scratch pair buffer.
+func recolor(g *rdf.Graph, p *Partition, n rdf.NodeID, scratch []ColorPair) (Color, []ColorPair) {
+	out := g.Out(n)
+	scratch = scratch[:0]
+	for _, e := range out {
+		scratch = append(scratch, ColorPair{P: p.colors[e.P], O: p.colors[e.O]})
+	}
+	return p.in.Composite(p.colors[n], scratch), scratch
+}
+
+// RefineStep applies the one-step bisimulation partition refinement
+// BisimRefine_X(λ) of §3.2 equation (2): nodes in x are recolored with
+// recolor_λ, all other nodes keep their color. The input partition is not
+// modified.
+func RefineStep(g *rdf.Graph, p *Partition, x []rdf.NodeID) *Partition {
+	q := p.Clone()
+	var scratch []ColorPair
+	for _, n := range x {
+		var c Color
+		c, scratch = recolor(g, p, n, scratch)
+		q.colors[n] = c
+	}
+	return q
+}
+
+// Refine computes the refinement fixpoint BisimRefine*_X(λ) (Definition 4):
+// RefineStep is applied iteratively until it yields a partition equivalent
+// to its input — the paper's Λⁿ(λ) ≡ Λⁿ⁺¹(λ) with n minimal — and returns
+// Λⁿ(λ) together with n.
+//
+// Stabilisation is detected by grouping equivalence rather than by class
+// counting: while refinement of label partitions is strictly monotone, the
+// hybrid/propagation uses start from partitions that already contain
+// composite colors, and a recolored node may legitimately *join* such a
+// class when its derivation tree coincides with an aligned node's tree
+// (paper Example 4: "the depth of the trees may be greater than the number
+// of iterations … for aligned nodes colors from the deblanking alignments
+// are used").
+func Refine(g *rdf.Graph, p *Partition, x []rdf.NodeID) (*Partition, int) {
+	cur := p
+	for iter := 0; ; iter++ {
+		if iter > DefaultMaxIterations {
+			panic(fmt.Sprintf("core: Refine did not stabilise after %d iterations", iter))
+		}
+		next := RefineStep(g, cur, x)
+		if equivalentColors(cur.colors, next.colors) {
+			return cur, iter
+		}
+		cur = next
+	}
+}
+
+// BisimPartition computes λ_Bisim = BisimRefine*_{N_G}(ℓ_G), which by
+// Proposition 1 captures the maximal bisimulation on G.
+func BisimPartition(g *rdf.Graph, in *Interner) (*Partition, int) {
+	all := make([]rdf.NodeID, g.NumNodes())
+	for i := range all {
+		all[i] = rdf.NodeID(i)
+	}
+	return Refine(g, LabelPartition(g, in), all)
+}
+
+// DeblankPartition computes λ_Deblank = BisimRefine*_{Blanks(G)}(ℓ_G)
+// (§3.3): bisimulation refinement restricted to blank nodes, which
+// characterises each blank node by its contents (the URIs and data values
+// reachable from it). It returns the partition and the number of refinement
+// iterations.
+func DeblankPartition(g *rdf.Graph, in *Interner) (*Partition, int) {
+	var blanks []rdf.NodeID
+	g.Nodes(func(n rdf.NodeID) {
+		if g.IsBlank(n) {
+			blanks = append(blanks, n)
+		}
+	})
+	return Refine(g, LabelPartition(g, in), blanks)
+}
+
+// HybridPartition computes λ_Hybrid (§3.4): starting from the deblank
+// partition, the colors of unaligned non-literal nodes are reset to the
+// neutral blank color and bisimulation refinement is re-run on exactly those
+// nodes, allowing URIs with different labels (ontology changes) — and blank
+// nodes whose deblank color embedded such URIs — to align. It returns the
+// partition and the total refinement iterations (deblank + hybrid phases).
+func HybridPartition(c *rdf.Combined, in *Interner) (*Partition, int) {
+	deblank, it1 := DeblankPartition(c.Graph, in)
+	p, it2 := HybridFromDeblank(c, deblank)
+	return p, it1 + it2
+}
+
+// HybridFromDeblank runs only the second phase of the hybrid construction,
+// for callers that already hold λ_Deblank.
+func HybridFromDeblank(c *rdf.Combined, deblank *Partition) (*Partition, int) {
+	un := UnalignedNonLiterals(c, deblank)
+	blanked := BlankOut(deblank, un)
+	return Refine(c.Graph, blanked, un)
+}

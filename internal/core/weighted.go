@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"rdfalign/internal/rdf"
+)
+
+// OPlus is the capped addition operator ⊕ of §4.1 used to combine distance
+// values so the result stays in [0, 1]: x ⊕ y = min{x + y, 1}.
+func OPlus(x, y float64) float64 {
+	s := x + y
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// DefaultEpsilon is the weight-stabilisation threshold for weighted
+// refinement (§4.5: iterate "until the weight assigned to any node changes
+// by less than some fixed small value ε > 0").
+const DefaultEpsilon = 1e-9
+
+// Weighted is a weighted partition ξ = (λ, ω) (§4.3): every node belongs to
+// exactly one cluster and additionally carries a confidence weight in
+// [0, 1], interpreted as the distance of the node from the center of its
+// cluster.
+type Weighted struct {
+	P *Partition
+	W []float64
+}
+
+// NewWeighted pairs a partition with the constant-zero weight function
+// (written (λ, 0) in the paper).
+func NewWeighted(p *Partition) *Weighted {
+	return &Weighted{P: p, W: make([]float64, p.Len())}
+}
+
+// Clone returns a deep copy sharing the interner.
+func (xi *Weighted) Clone() *Weighted {
+	w := make([]float64, len(xi.W))
+	copy(w, xi.W)
+	return &Weighted{P: xi.P.Clone(), W: w}
+}
+
+// Distance is the node distance function σ_ξ induced by the weighted
+// partition (§4.3 equation 5): ω(n) ⊕ ω(m) when the nodes share a cluster,
+// and 1 otherwise.
+func (xi *Weighted) Distance(n, m rdf.NodeID) float64 {
+	if xi.P.colors[n] != xi.P.colors[m] {
+		return 1
+	}
+	return OPlus(xi.W[n], xi.W[m])
+}
+
+// BlankOutWeighted extends Blank(ξ, X) to weighted partitions (§4.5): nodes
+// in x get the neutral blank color and weight 0.
+func BlankOutWeighted(xi *Weighted, x []rdf.NodeID) *Weighted {
+	out := xi.Clone()
+	for _, n := range x {
+		out.P.colors[n] = xi.P.in.Blank()
+		out.W[n] = 0
+	}
+	return out
+}
+
+// reweight computes reweight_ω(n) (§4.5):
+//
+//	⊕ { (ω(p) ⊕ ω(o)) / |out(n)|  |  (p,o) ∈ out(n) }
+//
+// For nodes with no outgoing edges the weight is left unchanged.
+func reweight(g *rdf.Graph, w []float64, n rdf.NodeID) float64 {
+	out := g.Out(n)
+	if len(out) == 0 {
+		return w[n]
+	}
+	deg := float64(len(out))
+	acc := 0.0
+	for _, e := range out {
+		acc = OPlus(acc, OPlus(w[e.P], w[e.O])/deg)
+	}
+	return acc
+}
+
+// RefineWeightedStep is the one-step weighted refinement BisimRefine_X(ξ) of
+// §4.5: colors of nodes in x are refined exactly as in the unweighted case,
+// and their weights are recomputed with reweight (synchronously: all reads
+// see the input weights).
+func RefineWeightedStep(g *rdf.Graph, xi *Weighted, x []rdf.NodeID) *Weighted {
+	out := xi.Clone()
+	var scratch []ColorPair
+	for _, n := range x {
+		var c Color
+		c, scratch = recolor(g, xi.P, n, scratch)
+		out.P.colors[n] = c
+		out.W[n] = reweight(g, xi.W, n)
+	}
+	return out
+}
+
+// RefineWeighted computes BisimRefine*_X(ξ): weighted refinement iterated
+// until the partition stabilises (class count unchanged) and the weights
+// stabilise (max change < eps). It returns the result and the number of
+// steps. Weights of nodes in x start at 0 in every use in the paper and
+// only increase during refinement, which guarantees convergence; the
+// iteration cap turns any violation of that contract into a panic.
+func RefineWeighted(g *rdf.Graph, xi *Weighted, x []rdf.NodeID, eps float64) (*Weighted, int) {
+	if eps <= 0 {
+		eps = DefaultEpsilon
+	}
+	cur := xi
+	for iter := 0; ; iter++ {
+		if iter > DefaultMaxIterations {
+			panic(fmt.Sprintf("core: RefineWeighted did not stabilise after %d iterations", iter))
+		}
+		next := RefineWeightedStep(g, cur, x)
+		maxDelta := 0.0
+		for _, n := range x {
+			if d := math.Abs(next.W[n] - cur.W[n]); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		if maxDelta < eps && equivalentColors(cur.P.colors, next.P.colors) {
+			return next, iter + 1
+		}
+		cur = next
+	}
+}
+
+// Propagate spreads alignment information in ξ to the currently unaligned
+// non-literal nodes (§4.5):
+//
+//	Propagate(ξ) = BisimRefine*_{UN(ξ)}(Blank(ξ, UN(ξ)))
+//
+// It blanks the colors and zeroes the weights of unaligned non-literal
+// nodes, then refines on exactly those nodes so their identity — and a
+// confidence weight — is rebuilt from their outbound neighbourhoods.
+func Propagate(c *rdf.Combined, xi *Weighted, eps float64) (*Weighted, int) {
+	un := UnalignedNonLiterals(c, xi.P)
+	blanked := BlankOutWeighted(xi, un)
+	return RefineWeighted(c.Graph, blanked, un, eps)
+}

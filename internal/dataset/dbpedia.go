@@ -1,0 +1,189 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rdfalign/internal/rdf"
+)
+
+// DBpediaConfig sizes the synthetic DBpedia category dataset used for the
+// scalability experiment (§5.3, Figure 16): six progressively growing
+// versions of a category hierarchy plus Wikipedia-article categorization.
+type DBpediaConfig struct {
+	// Versions is the number of snapshots; the paper uses DBpedia 3.0
+	// through 3.5 (six versions).
+	Versions int
+	// Scale multiplies the node counts; 1.0 approximates the paper's
+	// sizes (2.6M→4.2M nodes, 7.6M→13.7M edges).
+	Scale float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c *DBpediaConfig) normalise() {
+	if c.Versions <= 0 {
+		c.Versions = 6
+	}
+	if c.Scale <= 0 {
+		c.Scale = 0.01
+	}
+}
+
+// DBpedia is the generated dataset.
+type DBpedia struct {
+	Config DBpediaConfig
+	Graphs []*rdf.Graph
+}
+
+const (
+	dbpResource   = "http://dbpedia.org/resource/"
+	dbpCategory   = "http://dbpedia.org/resource/Category:"
+	skosBroader   = "http://www.w3.org/2004/02/skos/core#broader"
+	dctermsSubj   = "http://purl.org/dc/terms/subject"
+	dbpLabel      = rdfsLabel
+	dbpBaseArts   = 1_100_000
+	dbpBaseCats   = 180_000
+	dbpGrowthArts = 1.10
+	dbpGrowthCats = 1.08
+)
+
+// dbpEntity is a persistent article or category.
+type dbpEntity struct {
+	name string
+	// cats are the category indexes an article belongs to; for a
+	// category, the single broader-category index (or -1 for roots).
+	cats    []int
+	broader int
+	born    int
+}
+
+// GenerateDBpedia builds the dataset. Labels and categorization persist
+// across versions (the scalability experiment measures running time, not
+// precision), with small churn so that consecutive versions are not
+// identical.
+func GenerateDBpedia(cfg DBpediaConfig) (*DBpedia, error) {
+	cfg.normalise()
+	r := rand.New(rand.NewSource(cfg.Seed ^ 0x646270))
+	lex := NewLexicon(cfg.Seed^0x6c6578, 1200)
+
+	baseArts := int(math.Round(dbpBaseArts * cfg.Scale))
+	baseCats := int(math.Round(dbpBaseCats * cfg.Scale))
+	if baseArts < 50 {
+		baseArts = 50
+	}
+	if baseCats < 10 {
+		baseCats = 10
+	}
+
+	var cats, arts []*dbpEntity
+	newCat := func(born int) {
+		e := &dbpEntity{name: titleCase(lex.Phrase(r, 1+r.Intn(2))), born: born, broader: -1}
+		if len(cats) > 0 {
+			e.broader = r.Intn(len(cats))
+		}
+		cats = append(cats, e)
+	}
+	newArt := func(born int) {
+		e := &dbpEntity{name: titleCase(lex.Phrase(r, 1+r.Intn(3))), born: born}
+		n := 1 + r.Intn(4)
+		for i := 0; i < n; i++ {
+			e.cats = append(e.cats, r.Intn(len(cats)))
+		}
+		arts = append(arts, e)
+	}
+	for i := 0; i < baseCats; i++ {
+		newCat(0)
+	}
+	for i := 0; i < baseArts; i++ {
+		newArt(0)
+	}
+
+	d := &DBpedia{Config: cfg}
+	for v := 0; v < cfg.Versions; v++ {
+		d.Graphs = append(d.Graphs, renderDBpedia(v, cats, arts))
+		if v == cfg.Versions-1 {
+			break
+		}
+		// Growth and churn.
+		growC := int(float64(len(cats)) * (dbpGrowthCats - 1))
+		for i := 0; i < growC; i++ {
+			newCat(v + 1)
+		}
+		growA := int(float64(len(arts)) * (dbpGrowthArts - 1))
+		for i := 0; i < growA; i++ {
+			newArt(v + 1)
+		}
+		// Recategorize ~1% of articles and rename ~0.5%.
+		churn := len(arts) / 100
+		for i := 0; i < churn; i++ {
+			a := arts[r.Intn(len(arts))]
+			a.cats[r.Intn(len(a.cats))] = r.Intn(len(cats))
+		}
+		for i := 0; i < len(arts)/200; i++ {
+			a := arts[r.Intn(len(arts))]
+			a.name = lex.EditPhrase(r, a.name)
+		}
+	}
+	return d, nil
+}
+
+func renderDBpedia(v int, cats, arts []*dbpEntity) *rdf.Graph {
+	b := rdf.NewBuilder(fmt.Sprintf("dbpedia-v%d", v+1))
+	labelP := b.URI(dbpLabel)
+	broaderP := b.URI(skosBroader)
+	subjP := b.URI(dctermsSubj)
+
+	catURIs := make([]rdf.NodeID, len(cats))
+	for i, c := range cats {
+		if c.born > v {
+			continue
+		}
+		u := b.URI(fmt.Sprintf("%s%s_%d", dbpCategory, uriName(c.name), i))
+		catURIs[i] = u
+		b.Triple(u, labelP, b.Literal(c.name))
+		if c.broader >= 0 && cats[c.broader].born <= v {
+			b.Triple(u, broaderP, catURIs[c.broader])
+		}
+	}
+	for i, a := range arts {
+		if a.born > v {
+			continue
+		}
+		u := b.URI(fmt.Sprintf("%s%s_%d", dbpResource, uriName(a.name), i))
+		b.Triple(u, labelP, b.Literal(a.name))
+		for _, ci := range a.cats {
+			if cats[ci].born <= v {
+				b.Triple(u, subjP, catURIs[ci])
+			}
+		}
+	}
+	return b.MustGraph()
+}
+
+func titleCase(s string) string {
+	if s == "" {
+		return s
+	}
+	out := []byte(s)
+	up := true
+	for i := 0; i < len(out); i++ {
+		c := out[i]
+		if up && c >= 'a' && c <= 'z' {
+			out[i] = c - 'a' + 'A'
+		}
+		up = c == ' '
+	}
+	return string(out)
+}
+
+func uriName(s string) string {
+	out := []byte(s)
+	for i := range out {
+		if out[i] == ' ' {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,509 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+
+	"rdfalign/internal/rdf"
+	"rdfalign/internal/relational"
+	"rdfalign/internal/truth"
+)
+
+// GtoPdbConfig sizes the synthetic Guide-to-Pharmacology dataset (§5.2).
+type GtoPdbConfig struct {
+	// Versions is the number of database versions; the paper uses 10.
+	Versions int
+	// Scale multiplies the row counts; 1.0 approximates the paper's sizes
+	// (≈120k rows in version 1 growing past 300k, giving 0.25M→1M nodes
+	// and 1.5M→6M triples as in Figure 12). The experiment default is
+	// much smaller; see the experiments package.
+	Scale float64
+	// Seed drives all randomness; equal configs generate identical data.
+	Seed int64
+}
+
+func (c *GtoPdbConfig) normalise() {
+	if c.Versions <= 0 {
+		c.Versions = 10
+	}
+	if c.Scale <= 0 {
+		c.Scale = 0.02
+	}
+}
+
+// GtoPdb is the generated dataset: one RDF graph per database version, each
+// exported with a distinct URI prefix via the direct mapping, plus the
+// key-derived ground truth.
+type GtoPdb struct {
+	Config   GtoPdbConfig
+	Graphs   []*rdf.Graph
+	Prefixes []string
+	// keys[v] holds, for each live row of version v, the prefix-less row
+	// URI suffix (e.g. "ligand/id=685"); the ground truth pairs suffixes
+	// present in two versions.
+	keys []map[string]struct{}
+}
+
+// gtopdbTables defines the pharmacology-shaped schema. Row share is the
+// fraction of the version's total row budget each table receives.
+var gtopdbTables = []struct {
+	schema relational.Schema
+	share  float64
+}{
+	{relational.Schema{
+		Name: "family",
+		Columns: []relational.Column{
+			{Name: "id", Type: relational.Int},
+			{Name: "name", Type: relational.Text},
+			{Name: "type", Type: relational.Text},
+		},
+		Key: []string{"id"},
+	}, 0.01},
+	{relational.Schema{
+		Name: "target",
+		Columns: []relational.Column{
+			{Name: "id", Type: relational.Int},
+			{Name: "family_id", Type: relational.Int, Nullable: true},
+			{Name: "name", Type: relational.Text},
+			{Name: "abbreviation", Type: relational.Text, Nullable: true},
+			{Name: "species", Type: relational.Text},
+			{Name: "comment", Type: relational.Text, Nullable: true},
+		},
+		Key:         []string{"id"},
+		ForeignKeys: []relational.ForeignKey{{Column: "family_id", RefTable: "family"}},
+	}, 0.12},
+	{relational.Schema{
+		Name: "ligand",
+		Columns: []relational.Column{
+			{Name: "id", Type: relational.Int},
+			{Name: "name", Type: relational.Text},
+			{Name: "type", Type: relational.Text},
+			{Name: "smiles", Type: relational.Text, Nullable: true},
+			{Name: "comment", Type: relational.Text, Nullable: true},
+			{Name: "approved", Type: relational.Bool},
+		},
+		Key: []string{"id"},
+	}, 0.25},
+	{relational.Schema{
+		Name: "reference",
+		Columns: []relational.Column{
+			{Name: "id", Type: relational.Int},
+			{Name: "title", Type: relational.Text},
+			{Name: "year", Type: relational.Int},
+			{Name: "journal", Type: relational.Text},
+		},
+		Key: []string{"id"},
+	}, 0.17},
+	{relational.Schema{
+		Name: "contributor",
+		Columns: []relational.Column{
+			{Name: "id", Type: relational.Int},
+			{Name: "name", Type: relational.Text},
+			{Name: "affiliation", Type: relational.Text, Nullable: true},
+		},
+		Key: []string{"id"},
+	}, 0.05},
+	{relational.Schema{
+		Name: "interaction",
+		Columns: []relational.Column{
+			{Name: "id", Type: relational.Int},
+			{Name: "ligand_id", Type: relational.Int},
+			{Name: "target_id", Type: relational.Int},
+			{Name: "action", Type: relational.Text},
+			{Name: "affinity", Type: relational.Float, Nullable: true},
+			{Name: "units", Type: relational.Text, Nullable: true},
+			{Name: "reference_id", Type: relational.Int, Nullable: true},
+		},
+		Key: []string{"id"},
+		ForeignKeys: []relational.ForeignKey{
+			{Column: "ligand_id", RefTable: "ligand"},
+			{Column: "target_id", RefTable: "target"},
+			{Column: "reference_id", RefTable: "reference"},
+		},
+	}, 0.40},
+}
+
+// transition describes the evolution step into the next version. The shape
+// mirrors §5.2's narrative: versions 3→4 see a burst of insertions (the
+// worst-precision pair of Figures 13–15) while 7→8 changes almost nothing.
+type transition struct {
+	growth   float64 // multiplicative row growth
+	editPct  float64 // fraction of rows with a value edit
+	delPct   float64 // fraction of deletable rows removed
+	rekeyPct float64 // fraction of rows deleted and reinserted under a new key
+}
+
+var gtopdbTransitions = []transition{
+	{1.10, 0.04, 0.015, 0.004},
+	{1.08, 0.05, 0.015, 0.004},
+	{1.38, 0.09, 0.040, 0.020}, // 3 → 4: the big churn
+	{1.07, 0.04, 0.015, 0.004},
+	{1.12, 0.05, 0.020, 0.006},
+	{1.06, 0.04, 0.015, 0.004},
+	{1.005, 0.005, 0.001, 0}, // 7 → 8: minute changes
+	{1.09, 0.05, 0.015, 0.005},
+	{1.11, 0.04, 0.015, 0.004},
+}
+
+const gtopdbBaseRows = 120_000
+
+// GenerateGtoPdb builds the dataset.
+func GenerateGtoPdb(cfg GtoPdbConfig) (*GtoPdb, error) {
+	cfg.normalise()
+	r := rand.New(rand.NewSource(cfg.Seed ^ 0x67746f70))
+	lex := NewLexicon(cfg.Seed^0x6c6578, 600)
+
+	g := &gtopdbGen{
+		cfg: cfg, r: r, lex: lex,
+		db:      relational.NewDatabase(),
+		nextID:  map[string]int64{},
+		keyPool: map[string][]string{},
+	}
+	for _, t := range gtopdbTables {
+		if err := g.db.CreateTable(t.schema); err != nil {
+			return nil, err
+		}
+	}
+	out := &GtoPdb{Config: cfg}
+
+	baseTotal := int(math.Round(gtopdbBaseRows * cfg.Scale))
+	if baseTotal < 60 {
+		baseTotal = 60
+	}
+	if err := g.growTo(baseTotal); err != nil {
+		return nil, err
+	}
+	for v := 0; v < cfg.Versions; v++ {
+		prefix := fmt.Sprintf("http://gtopdb.example.org/v%d/", v+1)
+		graph, err := relational.DirectMap(g.db, relational.MappingOptions{Prefix: prefix})
+		if err != nil {
+			return nil, err
+		}
+		out.Graphs = append(out.Graphs, graph)
+		out.Prefixes = append(out.Prefixes, prefix)
+		out.keys = append(out.keys, g.rowSuffixes())
+		if v == cfg.Versions-1 {
+			break
+		}
+		tr := gtopdbTransitions[v%len(gtopdbTransitions)]
+		if err := g.evolve(tr); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// GroundTruth returns the key-derived alignment between versions i and j
+// (0-based): rows live in both versions pair their version-specific URIs.
+func (d *GtoPdb) GroundTruth(i, j int) *truth.Truth {
+	tr := truth.New()
+	for suffix := range d.keys[i] {
+		if _, ok := d.keys[j][suffix]; ok {
+			tr.Add(d.Prefixes[i]+suffix, d.Prefixes[j]+suffix)
+		}
+	}
+	return tr
+}
+
+// EntityStats returns, for versions i and j, the duplicate-free number of
+// row entities present in either version (Total in Figure 13) and in both
+// versions (the GtoPdb ground-truth line).
+func (d *GtoPdb) EntityStats(i, j int) (total, common int) {
+	for suffix := range d.keys[i] {
+		if _, ok := d.keys[j][suffix]; ok {
+			common++
+		}
+	}
+	total = len(d.keys[i]) + len(d.keys[j]) - common
+	return total, common
+}
+
+type gtopdbGen struct {
+	cfg    GtoPdbConfig
+	r      *rand.Rand
+	lex    *Lexicon
+	db     *relational.Database
+	nextID map[string]int64
+	// keyPool caches inserted keys per table for O(1) random draws; it
+	// may contain deleted keys, which randomKey filters out.
+	keyPool map[string][]string
+}
+
+// rowSuffixes snapshots the prefix-less row URIs of the current database.
+func (g *gtopdbGen) rowSuffixes() map[string]struct{} {
+	out := make(map[string]struct{}, g.db.NumRows())
+	for _, name := range g.db.TableNames() {
+		t := g.db.Table(name)
+		t.ForEach(func(key string, row relational.Row) {
+			out[relational.RowURI("", t.Schema, row)] = struct{}{}
+		})
+	}
+	return out
+}
+
+// growTo inserts rows table by table until the database reaches the target
+// total row count, respecting the per-table shares and referential order.
+func (g *gtopdbGen) growTo(total int) error {
+	for _, t := range gtopdbTables {
+		want := int(math.Round(float64(total) * t.share))
+		have := g.db.Table(t.schema.Name).NumRows()
+		for i := have; i < want; i++ {
+			if err := g.insertRow(t.schema.Name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (g *gtopdbGen) insertRow(table string) error {
+	id := g.nextID[table]
+	g.nextID[table] = id + 1
+	vals := map[string]relational.Value{"id": relational.IntValue(id)}
+	r, lex := g.r, g.lex
+	switch table {
+	case "family":
+		vals["name"] = relational.TextValue(lex.Name(r) + " family")
+		vals["type"] = relational.TextValue([]string{"GPCR", "enzyme", "ion channel", "transporter"}[r.Intn(4)])
+	case "target":
+		if fam := g.randomKey("family"); fam != "" && r.Intn(10) > 0 {
+			vals["family_id"] = intKey(fam)
+		}
+		vals["name"] = relational.TextValue(lex.Name(r))
+		if r.Intn(2) == 0 {
+			vals["abbreviation"] = relational.TextValue(lex.Word(r))
+		}
+		vals["species"] = relational.TextValue([]string{"Human", "Mouse", "Rat"}[r.Intn(3)])
+		if r.Intn(3) == 0 {
+			vals["comment"] = relational.TextValue(lex.Sentence(r, 6+r.Intn(8)))
+		}
+	case "ligand":
+		vals["name"] = relational.TextValue(lex.Name(r))
+		vals["type"] = relational.TextValue([]string{"Synthetic organic", "Peptide", "Antibody", "Natural product"}[r.Intn(4)])
+		if r.Intn(2) == 0 {
+			vals["smiles"] = relational.TextValue(smiles(r))
+		}
+		if r.Intn(4) == 0 {
+			vals["comment"] = relational.TextValue(lex.Sentence(r, 5+r.Intn(10)))
+		}
+		vals["approved"] = relational.BoolValue(r.Intn(5) == 0)
+	case "reference":
+		vals["title"] = relational.TextValue(lex.Sentence(r, 6+r.Intn(8)))
+		vals["year"] = relational.IntValue(int64(1980 + r.Intn(36)))
+		vals["journal"] = relational.TextValue(lex.Phrase(r, 2) + " journal")
+	case "contributor":
+		vals["name"] = relational.TextValue(lex.Name(r))
+		if r.Intn(2) == 0 {
+			vals["affiliation"] = relational.TextValue("University of " + lex.Word(r))
+		}
+	case "interaction":
+		lig := g.randomKey("ligand")
+		tgt := g.randomKey("target")
+		if lig == "" || tgt == "" {
+			return fmt.Errorf("dataset: interaction requires ligands and targets")
+		}
+		vals["ligand_id"] = intKey(lig)
+		vals["target_id"] = intKey(tgt)
+		vals["action"] = relational.TextValue([]string{"Agonist", "Antagonist", "Inhibitor", "Activator"}[r.Intn(4)])
+		if r.Intn(5) > 0 {
+			vals["affinity"] = relational.FloatValue(math.Round(100*(4+6*r.Float64())) / 100)
+			vals["units"] = relational.TextValue([]string{"pKi", "pIC50", "pKd"}[r.Intn(3)])
+		}
+		if ref := g.randomKey("reference"); ref != "" && r.Intn(4) > 0 {
+			vals["reference_id"] = intKey(ref)
+		}
+	}
+	if err := g.db.Insert(table, vals); err != nil {
+		return err
+	}
+	g.keyPool[table] = append(g.keyPool[table], vals["id"].Lexical())
+	return nil
+}
+
+// randomKey draws a random live key from a table, or "" if empty. It draws
+// from the append-only key pool and verifies liveness, compacting the pool
+// when stale entries accumulate.
+func (g *gtopdbGen) randomKey(table string) string {
+	pool := g.keyPool[table]
+	t := g.db.Table(table)
+	for tries := 0; tries < 20 && len(pool) > 0; tries++ {
+		k := pool[g.r.Intn(len(pool))]
+		if _, ok := t.Get(k); ok {
+			return k
+		}
+	}
+	// Too many stale entries: compact the pool from the table itself.
+	live := t.Keys()
+	g.keyPool[table] = live
+	if len(live) == 0 {
+		return ""
+	}
+	return live[g.r.Intn(len(live))]
+}
+
+// evolve applies one version transition: value edits, deletions (leaf
+// tables first, restrict-safe), then growth.
+func (g *gtopdbGen) evolve(tr transition) error {
+	r := g.r
+	// Edits.
+	for _, t := range gtopdbTables {
+		table := g.db.Table(t.schema.Name)
+		keys := table.Keys()
+		nEdits := int(float64(len(keys)) * tr.editPct)
+		for i := 0; i < nEdits; i++ {
+			key := keys[r.Intn(len(keys))]
+			if err := g.editRow(t.schema.Name, key); err != nil {
+				return err
+			}
+		}
+	}
+	// Deletions: interactions can always go; ligands, targets, references
+	// and contributors only when unreferenced (Delete's restrict check
+	// skips the rest).
+	for _, table := range []string{"interaction", "reference", "ligand", "target", "contributor"} {
+		keys := g.db.Table(table).Keys()
+		nDel := int(float64(len(keys)) * tr.delPct)
+		for i := 0; i < nDel && len(keys) > 0; i++ {
+			key := keys[r.Intn(len(keys))]
+			// Restrict violations are expected: just skip the row.
+			_ = g.db.Delete(table, key)
+		}
+	}
+	// Re-keying: delete a row and reinsert its content under a fresh key.
+	// The key-derived ground truth treats the new key as a new entity,
+	// while the content-based methods may legitimately align old and new
+	// URI — the paper's §5.2 source of false matches ("nodes that are
+	// inserted and deleted between the two versions"). Interactions and
+	// contributors are the tables whose rows are never referenced, so
+	// they re-key reliably; referenced rows are skipped by the restrict
+	// check.
+	for _, table := range []string{"interaction", "contributor", "ligand", "reference"} {
+		keys := g.db.Table(table).Keys()
+		nRekey := int(float64(len(keys)) * tr.rekeyPct)
+		for i := 0; i < nRekey && len(keys) > 0; i++ {
+			key := keys[r.Intn(len(keys))]
+			if err := g.rekeyRow(table, key); err != nil {
+				return err
+			}
+		}
+	}
+	// Growth.
+	target := int(float64(g.db.NumRows()) * tr.growth)
+	return g.growTo(target)
+}
+
+// rekeyRow deletes the row and reinserts its values under a fresh key,
+// occasionally editing one text value so the re-keyed population spans a
+// range of content distances. Referenced rows are skipped (restrict).
+func (g *gtopdbGen) rekeyRow(table, key string) error {
+	t := g.db.Table(table)
+	row, ok := t.Get(key)
+	if !ok {
+		return nil
+	}
+	saved := append(relational.Row(nil), row...)
+	if err := g.db.Delete(table, key); err != nil {
+		return nil // referenced: skip
+	}
+	id := g.nextID[table]
+	g.nextID[table] = id + 1
+	vals := map[string]relational.Value{}
+	for i, col := range t.Schema.Columns {
+		if col.Name == "id" {
+			vals["id"] = relational.IntValue(id)
+			continue
+		}
+		if saved[i].IsNull() {
+			continue
+		}
+		vals[col.Name] = saved[i]
+	}
+	if g.r.Intn(2) == 0 {
+		// Edit one text value so re-keyed rows are not all exact
+		// content twins.
+		for _, col := range t.Schema.Columns {
+			if col.Type == relational.Text && col.Name != "id" {
+				if v, ok := vals[col.Name]; ok {
+					vals[col.Name] = relational.TextValue(g.lex.EditPhrase(g.r, v.Text()))
+					break
+				}
+			}
+		}
+	}
+	if err := g.db.Insert(table, vals); err != nil {
+		return err
+	}
+	g.keyPool[table] = append(g.keyPool[table], vals["id"].Lexical())
+	return nil
+}
+
+// editRow applies one small value change to the row, choosing a column
+// appropriate to the table.
+func (g *gtopdbGen) editRow(table, key string) error {
+	t := g.db.Table(table)
+	row, ok := t.Get(key)
+	if !ok {
+		return nil
+	}
+	r, lex := g.r, g.lex
+	editText := func(col string) error {
+		idx := -1
+		for i, c := range t.Schema.Columns {
+			if c.Name == col {
+				idx = i
+			}
+		}
+		cur := row[idx]
+		if cur.IsNull() {
+			return g.db.Update(table, key, col, relational.TextValue(lex.Phrase(r, 3)))
+		}
+		return g.db.Update(table, key, col, relational.TextValue(lex.EditPhrase(r, cur.Text())))
+	}
+	switch table {
+	case "family":
+		return editText("name")
+	case "target":
+		if r.Intn(3) == 0 {
+			return editText("comment")
+		}
+		return editText("name")
+	case "ligand":
+		if r.Intn(3) == 0 {
+			return editText("comment")
+		}
+		return editText("name")
+	case "reference":
+		return editText("title")
+	case "contributor":
+		return editText("name")
+	case "interaction":
+		return g.db.Update(table, key, "affinity",
+			relational.FloatValue(math.Round(100*(4+6*r.Float64()))/100))
+	}
+	return nil
+}
+
+// intKey converts an encoded integer primary key back into a Value for use
+// in a foreign-key column.
+func intKey(key string) relational.Value {
+	i, err := strconv.ParseInt(key, 10, 64)
+	if err != nil {
+		panic(fmt.Sprintf("dataset: non-integer key %q", key))
+	}
+	return relational.IntValue(i)
+}
+
+// smiles produces a SMILES-looking string; its exact content is irrelevant,
+// it only has to behave like a chemistry identifier (long, structured,
+// mostly unique).
+func smiles(r *rand.Rand) string {
+	atoms := []string{"C", "N", "O", "c1ccccc1", "CC", "C(=O)", "S", "Cl", "F"}
+	s := ""
+	n := 3 + r.Intn(6)
+	for i := 0; i < n; i++ {
+		s += atoms[r.Intn(len(atoms))]
+	}
+	return s
+}

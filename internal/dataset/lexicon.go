@@ -1,0 +1,175 @@
+// Package dataset provides deterministic synthetic generators for the three
+// evolving datasets of the paper's evaluation (Buneman & Staworko, PVLDB
+// 2016, §5): an EFO-like ontology, a GtoPdb-like relational database
+// exported to RDF via the W3C Direct Mapping, and a DBpedia-like category
+// graph. The real datasets are not redistributable or reachable offline;
+// DESIGN.md documents why each generator preserves the behaviour the
+// evaluation depends on. All generators are fully deterministic for a given
+// seed and expose the ground truth that the evaluation metrics need.
+package dataset
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Lexicon generates pseudo-natural words, phrases and small string edits,
+// deterministically from the random source it is driven with. The word
+// inventory is fixed so that literal values across versions share words —
+// the property the overlap heuristic's word-split characterisation (§4.7)
+// relies on.
+type Lexicon struct {
+	words []string
+}
+
+var (
+	onsets  = []string{"b", "c", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "ch", "th", "pr", "st", "tr"}
+	vowels  = []string{"a", "e", "i", "o", "u", "ia", "ei", "ou"}
+	codas   = []string{"", "n", "r", "s", "l", "x", "st", "m"}
+	domains = []string{
+		"receptor", "kinase", "channel", "factor", "protein", "enzyme",
+		"inhibitor", "agonist", "antagonist", "ligand", "antibody",
+		"pathway", "complex", "subunit", "domain", "variant", "isoform",
+		"tissue", "cell", "membrane", "signal", "binding", "transport",
+	}
+)
+
+// NewLexicon builds a lexicon with the given inventory size. The inventory
+// is derived from a dedicated RNG so that different generators can share
+// identical vocabularies.
+func NewLexicon(seed int64, inventory int) *Lexicon {
+	r := rand.New(rand.NewSource(seed))
+	l := &Lexicon{}
+	seen := map[string]bool{}
+	for len(l.words) < inventory {
+		w := syllables(r, 2+r.Intn(2))
+		if !seen[w] {
+			seen[w] = true
+			l.words = append(l.words, w)
+		}
+	}
+	return l
+}
+
+func syllables(r *rand.Rand, n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteString(onsets[r.Intn(len(onsets))])
+		sb.WriteString(vowels[r.Intn(len(vowels))])
+		if r.Intn(3) == 0 {
+			sb.WriteString(codas[r.Intn(len(codas))])
+		}
+	}
+	return sb.String()
+}
+
+// Word draws one inventory word.
+func (l *Lexicon) Word(r *rand.Rand) string {
+	return l.words[r.Intn(len(l.words))]
+}
+
+// DomainWord draws one word from the fixed domain vocabulary (shared across
+// all lexicons), giving literals realistic repeated terms.
+func (l *Lexicon) DomainWord(r *rand.Rand) string {
+	return domains[r.Intn(len(domains))]
+}
+
+// Name generates a short entity name: an inventory word optionally followed
+// by a domain word ("fenoprast receptor").
+func (l *Lexicon) Name(r *rand.Rand) string {
+	w := l.Word(r)
+	if r.Intn(2) == 0 {
+		return w + " " + l.DomainWord(r)
+	}
+	return w
+}
+
+// Phrase generates an n-word phrase mixing inventory and domain words.
+func (l *Lexicon) Phrase(r *rand.Rand, n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		if r.Intn(3) == 0 {
+			parts[i] = l.DomainWord(r)
+		} else {
+			parts[i] = l.Word(r)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// Sentence generates a definition-like sentence of the given word count
+// with a capitalised first word and trailing period.
+func (l *Lexicon) Sentence(r *rand.Rand, n int) string {
+	s := l.Phrase(r, n)
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:] + "."
+}
+
+// Typo applies one small character edit to s — substitute, insert, delete
+// or transpose — modelling the "small changes in the data values" of the
+// paper's introduction. The result is guaranteed to differ from s (unless s
+// is empty, which is returned unchanged).
+func (l *Lexicon) Typo(r *rand.Rand, s string) string {
+	if len(s) == 0 {
+		return s
+	}
+	rs := []rune(s)
+	switch r.Intn(4) {
+	case 0: // substitute
+		i := r.Intn(len(rs))
+		old := rs[i]
+		for rs[i] == old {
+			rs[i] = rune('a' + r.Intn(26))
+		}
+		return string(rs)
+	case 1: // insert
+		i := r.Intn(len(rs) + 1)
+		c := rune('a' + r.Intn(26))
+		return string(rs[:i]) + string(c) + string(rs[i:])
+	case 2: // delete
+		if len(rs) == 1 {
+			return string(rs) + "x"
+		}
+		i := r.Intn(len(rs))
+		return string(rs[:i]) + string(rs[i+1:])
+	default: // transpose
+		if len(rs) == 1 {
+			return string(rs) + "y"
+		}
+		i := r.Intn(len(rs) - 1)
+		if rs[i] == rs[i+1] {
+			rs[i] = rune('a' + r.Intn(26))
+			return string(rs)
+		}
+		rs[i], rs[i+1] = rs[i+1], rs[i]
+		return string(rs)
+	}
+}
+
+// EditPhrase makes a word-level edit to a phrase: drop, add or typo one
+// word. Word-level edits keep most words intact, so the overlap heuristic
+// can still characterise the literal.
+func (l *Lexicon) EditPhrase(r *rand.Rand, s string) string {
+	words := strings.Fields(s)
+	if len(words) == 0 {
+		return l.Word(r)
+	}
+	switch r.Intn(3) {
+	case 0: // typo inside one word
+		i := r.Intn(len(words))
+		words[i] = l.Typo(r, words[i])
+	case 1: // add a word
+		i := r.Intn(len(words) + 1)
+		words = append(words[:i], append([]string{l.Word(r)}, words[i:]...)...)
+	default: // drop a word (if it stays non-empty)
+		if len(words) > 1 {
+			i := r.Intn(len(words))
+			words = append(words[:i], words[i+1:]...)
+		} else {
+			words[0] = l.Typo(r, words[0])
+		}
+	}
+	return strings.Join(words, " ")
+}

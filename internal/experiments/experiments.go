@@ -1,0 +1,189 @@
+// Package experiments reproduces every table and figure of the evaluation
+// section (§5) of Buneman & Staworko, "RDF Graph Alignment with
+// Bisimulation" (PVLDB 2016): Figures 9–16, plus the ablations DESIGN.md
+// commits to. Each figure has a runner returning a typed result with an
+// ASCII rendering; cmd/benchfig and the root bench_test.go drive them.
+//
+// Absolute numbers differ from the paper (synthetic data, scaled sizes,
+// different hardware); the *shapes* are the reproduction target — see
+// EXPERIMENTS.md for the paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"rdfalign/internal/core"
+	"rdfalign/internal/dataset"
+	"rdfalign/internal/rdf"
+	"rdfalign/internal/similarity"
+)
+
+// Config sizes the experiment datasets. The defaults regenerate every
+// figure in seconds on a laptop; raise the scales toward 1.0 to approach
+// the paper's dataset sizes.
+type Config struct {
+	Seed int64
+	// Scales relative to the paper's dataset sizes.
+	EFOScale     float64
+	GtoPdbScale  float64
+	DBpediaScale float64
+	// Version counts.
+	EFOVersions     int
+	GtoPdbVersions  int
+	DBpediaVersions int
+	// Theta is the similarity threshold for the Overlap method.
+	Theta float64
+	// Epsilon is the weight-stabilisation threshold for propagation.
+	Epsilon float64
+}
+
+// DefaultConfig returns the configuration used for EXPERIMENTS.md.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            20160901, // PVLDB 9(12) publication month
+		EFOScale:        0.05,
+		GtoPdbScale:     0.02,
+		DBpediaScale:    0.004,
+		EFOVersions:     10,
+		GtoPdbVersions:  10,
+		DBpediaVersions: 6,
+		Theta:           similarity.DefaultTheta,
+		Epsilon:         1e-6,
+	}
+}
+
+// Env lazily generates and caches the datasets and per-pair alignment
+// artifacts, so that figure runners (and benchmarks) sharing a configuration
+// do not regenerate them.
+type Env struct {
+	Cfg Config
+
+	mu      sync.Mutex
+	efo     *dataset.EFO
+	gtopdb  *dataset.GtoPdb
+	dbpedia *dataset.DBpedia
+
+	pairCache map[pairKey]*pairArtifacts
+}
+
+// NewEnv returns an environment for the given configuration.
+func NewEnv(cfg Config) *Env {
+	return &Env{Cfg: cfg, pairCache: make(map[pairKey]*pairArtifacts)}
+}
+
+// EFO returns the (cached) EFO-like dataset.
+func (e *Env) EFO() *dataset.EFO {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.efo == nil {
+		d, err := dataset.GenerateEFO(dataset.EFOConfig{
+			Versions: e.Cfg.EFOVersions,
+			Scale:    e.Cfg.EFOScale,
+			Seed:     e.Cfg.Seed,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: EFO generation failed: %v", err))
+		}
+		e.efo = d
+	}
+	return e.efo
+}
+
+// GtoPdb returns the (cached) GtoPdb-like dataset.
+func (e *Env) GtoPdb() *dataset.GtoPdb {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.gtopdb == nil {
+		d, err := dataset.GenerateGtoPdb(dataset.GtoPdbConfig{
+			Versions: e.Cfg.GtoPdbVersions,
+			Scale:    e.Cfg.GtoPdbScale,
+			Seed:     e.Cfg.Seed,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: GtoPdb generation failed: %v", err))
+		}
+		e.gtopdb = d
+	}
+	return e.gtopdb
+}
+
+// DBpedia returns the (cached) DBpedia-like dataset.
+func (e *Env) DBpedia() *dataset.DBpedia {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dbpedia == nil {
+		d, err := dataset.GenerateDBpedia(dataset.DBpediaConfig{
+			Versions: e.Cfg.DBpediaVersions,
+			Scale:    e.Cfg.DBpediaScale,
+			Seed:     e.Cfg.Seed,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: DBpedia generation failed: %v", err))
+		}
+		e.dbpedia = d
+	}
+	return e.dbpedia
+}
+
+type pairKey struct {
+	dataset string
+	i, j    int
+}
+
+// pairArtifacts caches the expensive per-pair computations shared between
+// figures: the combined graph and the partitions of every method. The
+// overlap result is filled in lazily by pair(); figures that only need the
+// bisimulation methods use pairBase().
+type pairArtifacts struct {
+	c       *rdf.Combined
+	trivial *core.Partition
+	deblank *core.Partition
+	hybrid  *core.Partition
+	overlap *similarity.OverlapResult
+}
+
+// pairBase computes (or fetches) the partition-method artifacts for
+// aligning versions i and j of the named dataset.
+func (e *Env) pairBase(name string, graphs []*rdf.Graph, i, j int) *pairArtifacts {
+	key := pairKey{name, i, j}
+	e.mu.Lock()
+	if a, ok := e.pairCache[key]; ok {
+		e.mu.Unlock()
+		return a
+	}
+	e.mu.Unlock()
+
+	c := rdf.Union(graphs[i], graphs[j])
+	in := core.NewInterner()
+	trivial := core.TrivialPartition(c.Graph, in)
+	deblank, _ := core.DeblankPartition(c.Graph, in)
+	hybrid, _ := core.HybridFromDeblank(c, deblank)
+	a := &pairArtifacts{c: c, trivial: trivial, deblank: deblank, hybrid: hybrid}
+	e.mu.Lock()
+	e.pairCache[key] = a
+	e.mu.Unlock()
+	return a
+}
+
+// pair extends pairBase with the overlap alignment at the configured θ.
+func (e *Env) pair(name string, graphs []*rdf.Graph, i, j int) *pairArtifacts {
+	a := e.pairBase(name, graphs, i, j)
+	e.mu.Lock()
+	have := a.overlap != nil
+	e.mu.Unlock()
+	if have {
+		return a
+	}
+	overlap, err := similarity.OverlapAlign(a.c, a.hybrid, similarity.OverlapOptions{
+		Theta:   e.Cfg.Theta,
+		Epsilon: e.Cfg.Epsilon,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: overlap alignment failed on %s (%d,%d): %v", name, i, j, err))
+	}
+	e.mu.Lock()
+	a.overlap = overlap
+	e.mu.Unlock()
+	return a
+}

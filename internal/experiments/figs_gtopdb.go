@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rdfalign/internal/core"
+	"rdfalign/internal/rdf"
+	"rdfalign/internal/similarity"
+	"rdfalign/internal/truth"
+)
+
+// Fig12Result reproduces Figure 12: node and edge counts of the GtoPdb
+// dataset versions (no blanks; literals slightly above URIs).
+type Fig12Result struct {
+	Stats []rdf.Stats
+}
+
+// Fig12 gathers the GtoPdb version statistics.
+func (e *Env) Fig12() *Fig12Result {
+	d := e.GtoPdb()
+	out := &Fig12Result{}
+	for _, g := range d.Graphs {
+		out.Stats = append(out.Stats, rdf.GatherStats(g))
+	}
+	return out
+}
+
+// String renders the figure as a table.
+func (r *Fig12Result) String() string {
+	rows := make([][]string, len(r.Stats))
+	for i, s := range r.Stats {
+		rows[i] = []string{itoa(i + 1), itoa(s.URIs), itoa(s.Literals), itoa(s.Triples)}
+	}
+	return renderTable("Figure 12: GtoPdb dataset versions",
+		[]string{"version", "URIs", "literals", "edges"}, rows)
+}
+
+// Fig13Row is one consecutive version pair of Figure 13.
+type Fig13Row struct {
+	Pair    string
+	Hybrid  int // entities aligned by the hybrid alignment
+	Overlap int // entities aligned by the overlap alignment
+	Truth   int // entities aligned by the ground truth (GtoPdb line)
+	Total   int // duplicate-free entities present in either version
+}
+
+// Fig13Result reproduces Figure 13: duplicate-free aligned node counts for
+// all consecutive version pairs.
+type Fig13Result struct {
+	Rows []Fig13Row
+}
+
+// Fig13 computes the aligned node counts.
+func (e *Env) Fig13() *Fig13Result {
+	d := e.GtoPdb()
+	out := &Fig13Result{}
+	for v := 0; v+1 < len(d.Graphs); v++ {
+		a := e.pair("gtopdb", d.Graphs, v, v+1)
+		total, common := d.EntityStats(v, v+1)
+		out.Rows = append(out.Rows, Fig13Row{
+			Pair:    fmt.Sprintf("%d-%d", v+1, v+2),
+			Hybrid:  core.NewAlignment(a.c, a.hybrid).AlignedEntityCount(true),
+			Overlap: core.NewAlignment(a.c, a.overlap.Xi.P).AlignedEntityCount(true),
+			Truth:   common,
+			Total:   total,
+		})
+	}
+	return out
+}
+
+// String renders the figure as a table.
+func (r *Fig13Result) String() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{row.Pair, itoa(row.Hybrid), itoa(row.Overlap), itoa(row.Truth), itoa(row.Total)}
+	}
+	return renderTable("Figure 13: aligned entities between consecutive GtoPdb versions",
+		[]string{"versions", "Hybrid", "Overlap", "GtoPdb", "Total"}, rows)
+}
+
+// Fig14Row is the precision of one method on one consecutive pair.
+type Fig14Row struct {
+	Pair      string
+	Method    string
+	Precision truth.Precision
+}
+
+// Fig14Result reproduces Figure 14: exact/inclusive/false/missing counts
+// for the Hybrid and Overlap alignments on every consecutive pair.
+type Fig14Result struct {
+	Rows []Fig14Row
+}
+
+// Fig14 classifies both methods against the key-derived ground truth.
+func (e *Env) Fig14() *Fig14Result {
+	d := e.GtoPdb()
+	out := &Fig14Result{}
+	for v := 0; v+1 < len(d.Graphs); v++ {
+		a := e.pair("gtopdb", d.Graphs, v, v+1)
+		tr := d.GroundTruth(v, v+1)
+		pair := fmt.Sprintf("%d-%d", v+1, v+2)
+		hybrid := core.NewAlignment(a.c, a.hybrid)
+		overlapA := a.overlap.Alignment(a.c)
+		out.Rows = append(out.Rows,
+			Fig14Row{pair, "Hybrid", truth.Classify(a.c, hybrid.MatchesOf, tr)},
+			Fig14Row{pair, "Overlap", truth.Classify(a.c, overlapA.MatchesOf, tr)},
+		)
+	}
+	return out
+}
+
+// String renders the figure as a table.
+func (r *Fig14Result) String() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		p := row.Precision
+		rows[i] = []string{row.Pair, row.Method,
+			itoa(p.Exact), itoa(p.Inclusive), itoa(p.False), itoa(p.Missing)}
+	}
+	return renderTable("Figure 14: alignment precision against the GtoPdb ground truth",
+		[]string{"versions", "method", "exact", "inclusive", "false", "missing"}, rows)
+}
+
+// Fig15Row is the overlap precision at one threshold.
+type Fig15Row struct {
+	Theta     float64
+	Precision truth.Precision
+}
+
+// Fig15Result reproduces Figure 15: the overlap alignment between GtoPdb
+// versions 3 and 4 for threshold values 0.35…0.95.
+type Fig15Result struct {
+	Rows []Fig15Row
+}
+
+// Fig15 sweeps the threshold on the highest-churn pair.
+func (e *Env) Fig15() *Fig15Result {
+	d := e.GtoPdb()
+	i, j := 2, 3 // versions 3 and 4
+	if len(d.Graphs) < 4 {
+		i, j = 0, len(d.Graphs)-1
+	}
+	base := e.pairBase("gtopdb", d.Graphs, i, j)
+	tr := d.GroundTruth(i, j)
+	out := &Fig15Result{}
+	for _, theta := range []float64{0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95} {
+		res, err := similarity.OverlapAlign(base.c, base.hybrid, similarity.OverlapOptions{
+			Theta:   theta,
+			Epsilon: e.Cfg.Epsilon,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: overlap at θ=%v failed: %v", theta, err))
+		}
+		a := res.Alignment(base.c)
+		out.Rows = append(out.Rows, Fig15Row{Theta: theta, Precision: truth.Classify(base.c, a.MatchesOf, tr)})
+	}
+	return out
+}
+
+// String renders the figure as a table.
+func (r *Fig15Result) String() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		p := row.Precision
+		rows[i] = []string{fmt.Sprintf("%.2f", row.Theta),
+			itoa(p.Exact), itoa(p.Inclusive), itoa(p.False), itoa(p.Missing)}
+	}
+	return renderTable("Figure 15: Overlap precision between GtoPdb versions 3 and 4 vs threshold θ",
+		[]string{"theta", "exact", "inclusive", "false", "missing"}, rows)
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// renderTable formats rows with aligned columns.
+func renderTable(title string, header []string, rows [][]string) string {
+	var sb strings.Builder
+	sb.WriteString(title)
+	sb.WriteByte('\n')
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(fmt.Sprintf("%*s", widths[i], cell))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// renderMatrix formats a value matrix with 1-based version axes, mirroring
+// the paper's source-version × target-version heat maps.
+func renderMatrix(title string, m [][]float64, format string) string {
+	n := len(m)
+	header := make([]string, n+1)
+	header[0] = "tgt\\src"
+	for i := 0; i < n; i++ {
+		header[i+1] = fmt.Sprintf("v%d", i+1)
+	}
+	rows := make([][]string, n)
+	for t := 0; t < n; t++ {
+		row := make([]string, n+1)
+		row[0] = fmt.Sprintf("v%d", t+1)
+		for s := 0; s < n; s++ {
+			row[s+1] = fmt.Sprintf(format, m[s][t])
+		}
+		rows[t] = row
+	}
+	return renderTable(title, header, rows)
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }

@@ -1,0 +1,112 @@
+package flooding
+
+import (
+	"testing"
+
+	"rdfalign/internal/rdf"
+)
+
+func parse(t testing.TB, doc, name string) *rdf.Graph {
+	t.Helper()
+	g, err := rdf.ParseNTriplesString(doc, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFloodAlignsRenamedURIBySharedVocabulary(t *testing.T) {
+	// The Figure 1 situation: shared predicate labels let flooding
+	// propagate from the literal anchors to the renamed employer URI.
+	g1 := parse(t, `
+<ss> <employer> <ed-uni> .
+<ed-uni> <name> "University of Edinburgh" .
+<ed-uni> <city> "Edinburgh" .
+`, "v1")
+	g2 := parse(t, `
+<ss> <employer> <uoe> .
+<uoe> <name> "University of Edinburgh" .
+<uoe> <city> "Edinburgh" .
+`, "v2")
+	c := rdf.Union(g1, g2)
+	r, err := Flood(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, _ := g1.FindURI("ed-uni")
+	uoe, _ := g2.FindURI("uoe")
+	sim := r.Similarity(c.FromSource(ed), c.FromTarget(uoe))
+	if sim <= 0 {
+		t.Fatal("flooding should give the renamed pair positive similarity")
+	}
+	matches := r.MatchesOf(c.FromSource(ed))
+	found := false
+	for _, m := range matches {
+		if m == c.FromTarget(uoe) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ed-uni should match uoe; matches=%v sim=%v", matches, sim)
+	}
+	if r.Iterations() == 0 {
+		t.Error("expected at least one flooding iteration")
+	}
+}
+
+func TestFloodNeedsSharedPredicateLabels(t *testing.T) {
+	// With per-version prefixes (the GtoPdb setting) no predicate labels
+	// are shared, the PCG is empty, and flooding aligns nothing — the
+	// structural reason the paper's problem is harder than schema
+	// matching.
+	g1 := parse(t, `
+<http://a/row1> <http://a/name> "calcitonin" .
+`, "v1")
+	g2 := parse(t, `
+<http://b/row1> <http://b/name> "calcitonin" .
+`, "v2")
+	c := rdf.Union(g1, g2)
+	r, err := Flood(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PairCount() != 0 {
+		t.Errorf("PCG should be empty without shared predicate labels, got %d pairs", r.PairCount())
+	}
+	row1, _ := g1.FindURI("http://a/row1")
+	if got := r.MatchesOf(c.FromSource(row1)); len(got) != 0 {
+		t.Errorf("no matches expected, got %v", got)
+	}
+}
+
+func TestFloodPairGuard(t *testing.T) {
+	// Dense same-predicate edges blow up the PCG quadratically; the
+	// guard must fire.
+	b1 := rdf.NewBuilder("g1")
+	b2 := rdf.NewBuilder("g2")
+	for i := 0; i < 40; i++ {
+		s1 := b1.URI("s" + string(rune('a'+i%26)) + "1")
+		b1.TripleURI(s1, "p", b1.Literal("v"+string(rune('a'+i))))
+		s2 := b2.URI("t" + string(rune('a'+i%26)) + "2")
+		b2.TripleURI(s2, "p", b2.Literal("w"+string(rune('a'+i))))
+	}
+	c := rdf.Union(b1.MustGraph(), b2.MustGraph())
+	if _, err := Flood(c, Options{MaxPairs: 10}); err == nil {
+		t.Error("PCG guard did not fire")
+	}
+}
+
+func TestFloodSimilaritiesNormalised(t *testing.T) {
+	g1 := parse(t, "<a> <p> \"x\" .\n<a> <p> \"y\" .\n", "v1")
+	g2 := parse(t, "<a> <p> \"x\" .\n<a> <p> \"z\" .\n", "v2")
+	c := rdf.Union(g1, g2)
+	r, err := Flood(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pr, s := range r.sims {
+		if s < 0 || s > 1 {
+			t.Errorf("similarity out of range at %v: %v", pr, s)
+		}
+	}
+}

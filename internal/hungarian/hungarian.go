@@ -1,0 +1,157 @@
+// Package hungarian implements the Hungarian (Kuhn–Munkres) algorithm for
+// the assignment problem, the optimal-matching primitive the σEdit node
+// distance of Buneman & Staworko (PVLDB 2016, §4.2) uses to couple the
+// outgoing edges of two nodes ("an optimal matching is found using the
+// Hungarian algorithm [9]").
+//
+// The implementation is the O(n³) shortest-augmenting-path formulation with
+// dual potentials, supporting rectangular cost matrices by implicit padding:
+// with r rows and c columns, min(r, c) assignments are made minimising the
+// total cost.
+package hungarian
+
+import "math"
+
+// Solve computes a minimum-cost assignment for the cost matrix, given as
+// rows of equal length. It returns the assignment as rowAssign (for each
+// row, the assigned column or -1) and the total cost of the assignment.
+// min(rows, cols) pairs are assigned. Costs may be any finite floats;
+// +Inf marks forbidden pairs (a forbidden pair is chosen only if a row
+// cannot otherwise be assigned, in which case its cost stays +Inf).
+//
+// Solve panics if rows have unequal lengths, since that is always a
+// programming error.
+func Solve(cost [][]float64) (rowAssign []int, total float64) {
+	r := len(cost)
+	if r == 0 {
+		return nil, 0
+	}
+	c := len(cost[0])
+	for _, row := range cost {
+		if len(row) != c {
+			panic("hungarian: ragged cost matrix")
+		}
+	}
+	if c == 0 {
+		return make([]int, 0), 0
+	}
+	// The potentials formulation assigns every row, so when rows exceed
+	// columns we solve the transpose and invert the assignment.
+	if r > c {
+		t := make([][]float64, c)
+		for j := 0; j < c; j++ {
+			t[j] = make([]float64, r)
+			for i := 0; i < r; i++ {
+				t[j][i] = cost[i][j]
+			}
+		}
+		colAssign, tot := Solve(t)
+		rowAssign = make([]int, r)
+		for i := range rowAssign {
+			rowAssign[i] = -1
+		}
+		for j, i := range colAssign {
+			if i >= 0 {
+				rowAssign[i] = j
+			}
+		}
+		return rowAssign, tot
+	}
+
+	// 1-based arrays per the classical description: p[j] is the row
+	// assigned to column j; u, v are the dual potentials.
+	u := make([]float64, r+1)
+	v := make([]float64, c+1)
+	p := make([]int, c+1)   // column → row (0 = unassigned)
+	way := make([]int, c+1) // column → previous column on the path
+	for i := 1; i <= r; i++ {
+		links := make([]float64, c+1)
+		used := make([]bool, c+1)
+		for j := range links {
+			links[j] = math.Inf(1)
+		}
+		j0 := 0
+		p[0] = i
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= c; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < links[j] {
+					links[j] = cur
+					way[j] = j0
+				}
+				if links[j] < delta {
+					delta = links[j]
+					j1 = j
+				}
+			}
+			if math.IsInf(delta, 1) {
+				// No reachable unused column with finite reduced
+				// cost: all remaining entries are +Inf. Extend via
+				// the first unused column anyway so that the row
+				// count constraint is met (cost stays +Inf).
+				for j := 1; j <= c; j++ {
+					if !used[j] {
+						j1 = j
+						way[j] = j0
+						break
+					}
+				}
+				if j1 == 0 {
+					break // no columns left at all
+				}
+				delta = 0
+			}
+			for j := 0; j <= c; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					links[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		// Augment along the path.
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	rowAssign = make([]int, r)
+	for i := range rowAssign {
+		rowAssign[i] = -1
+	}
+	total = 0
+	for j := 1; j <= c; j++ {
+		if p[j] != 0 {
+			rowAssign[p[j]-1] = j - 1
+			total += cost[p[j]-1][j-1]
+		}
+	}
+	return rowAssign, total
+}
+
+// SolveMax computes a maximum-total assignment by negating the costs.
+func SolveMax(profit [][]float64) (rowAssign []int, total float64) {
+	neg := make([][]float64, len(profit))
+	for i, row := range profit {
+		neg[i] = make([]float64, len(row))
+		for j, x := range row {
+			neg[i][j] = -x
+		}
+	}
+	rowAssign, negTotal := Solve(neg)
+	return rowAssign, -negTotal
+}

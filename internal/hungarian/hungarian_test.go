@@ -1,0 +1,230 @@
+package hungarian
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveTrivial(t *testing.T) {
+	assign, total := Solve([][]float64{{3}})
+	if len(assign) != 1 || assign[0] != 0 || total != 3 {
+		t.Errorf("Solve([[3]]) = %v, %v", assign, total)
+	}
+}
+
+func TestSolveEmpty(t *testing.T) {
+	assign, total := Solve(nil)
+	if len(assign) != 0 || total != 0 {
+		t.Errorf("Solve(nil) = %v, %v", assign, total)
+	}
+	assign, total = Solve([][]float64{{}, {}})
+	if total != 0 {
+		t.Errorf("Solve with zero columns: total = %v", total)
+	}
+	for _, a := range assign {
+		if a != -1 {
+			t.Errorf("zero-column assignment = %v, want all -1", assign)
+		}
+	}
+}
+
+func TestSolveClassic(t *testing.T) {
+	// Classic 3×3 example: optimal is the anti-diagonal (cost 1+2+3=6)...
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign, total := Solve(cost)
+	if total != 5 { // 1 + 2 + 2: (0,1), (1,0), (2,2)
+		t.Errorf("total = %v, want 5 (assignment %v)", total, assign)
+	}
+	if assign[0] != 1 || assign[1] != 0 || assign[2] != 2 {
+		t.Errorf("assignment = %v, want [1 0 2]", assign)
+	}
+}
+
+func TestSolveRectangularWide(t *testing.T) {
+	// 2 rows, 4 columns: assign both rows.
+	cost := [][]float64{
+		{9, 9, 1, 9},
+		{9, 9, 9, 2},
+	}
+	assign, total := Solve(cost)
+	if total != 3 || assign[0] != 2 || assign[1] != 3 {
+		t.Errorf("assign = %v total = %v, want [2 3] 3", assign, total)
+	}
+}
+
+func TestSolveRectangularTall(t *testing.T) {
+	// 4 rows, 2 columns: only 2 rows get assigned.
+	cost := [][]float64{
+		{9, 9},
+		{1, 9},
+		{9, 2},
+		{9, 9},
+	}
+	assign, total := Solve(cost)
+	if total != 3 {
+		t.Errorf("total = %v, want 3 (assign %v)", total, assign)
+	}
+	assigned := 0
+	for _, a := range assign {
+		if a >= 0 {
+			assigned++
+		}
+	}
+	if assigned != 2 {
+		t.Errorf("assigned %d rows, want 2", assigned)
+	}
+	if assign[1] != 0 || assign[2] != 1 {
+		t.Errorf("assign = %v, want rows 1→0, 2→1", assign)
+	}
+}
+
+func TestSolveMax(t *testing.T) {
+	profit := [][]float64{
+		{1, 5},
+		{5, 1},
+	}
+	assign, total := SolveMax(profit)
+	if total != 10 || assign[0] != 1 || assign[1] != 0 {
+		t.Errorf("SolveMax = %v, %v; want [1 0], 10", assign, total)
+	}
+}
+
+func TestSolveRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged matrix did not panic")
+		}
+	}()
+	Solve([][]float64{{1, 2}, {3}})
+}
+
+// bruteForce enumerates all assignments of rows to distinct columns and
+// returns the minimal total cost; the oracle for the property test.
+func bruteForce(cost [][]float64) float64 {
+	r := len(cost)
+	if r == 0 {
+		return 0
+	}
+	c := len(cost[0])
+	best := math.Inf(1)
+	usedCols := make([]bool, c)
+	var rec func(row int, acc float64, assigned int)
+	rec = func(row int, acc float64, assigned int) {
+		if assigned == min(r, c) {
+			if acc < best {
+				best = acc
+			}
+			return
+		}
+		if row >= r {
+			return
+		}
+		// Skip this row only if rows exceed columns.
+		if r > c {
+			rec(row+1, acc, assigned)
+		}
+		for j := 0; j < c; j++ {
+			if !usedCols[j] {
+				usedCols[j] = true
+				rec(row+1, acc+cost[row][j], assigned+1)
+				usedCols[j] = false
+			}
+		}
+	}
+	rec(0, 0, 0)
+	if math.IsInf(best, 1) {
+		return 0
+	}
+	return best
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestSolveAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(5)
+		c := 1 + rng.Intn(5)
+		cost := make([][]float64, r)
+		for i := range cost {
+			cost[i] = make([]float64, c)
+			for j := range cost[i] {
+				cost[i][j] = float64(rng.Intn(20))
+			}
+		}
+		_, got := Solve(cost)
+		want := bruteForce(cost)
+		if math.Abs(got-want) > 1e-9 {
+			t.Logf("seed %d: cost %v: got %v want %v", seed, cost, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveAssignmentValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(6)
+		c := 1 + rng.Intn(6)
+		cost := make([][]float64, r)
+		for i := range cost {
+			cost[i] = make([]float64, c)
+			for j := range cost[i] {
+				cost[i][j] = rng.Float64() * 10
+			}
+		}
+		assign, total := Solve(cost)
+		// No column assigned twice; total matches the assignment.
+		seen := map[int]bool{}
+		sum := 0.0
+		count := 0
+		for i, j := range assign {
+			if j < 0 {
+				continue
+			}
+			if seen[j] {
+				return false
+			}
+			seen[j] = true
+			sum += cost[i][j]
+			count++
+		}
+		if count != min(r, c) {
+			return false
+		}
+		return math.Abs(sum-total) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSolve50x50(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cost := make([][]float64, 50)
+	for i := range cost {
+		cost[i] = make([]float64, 50)
+		for j := range cost[i] {
+			cost[i][j] = rng.Float64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Solve(cost)
+	}
+}

@@ -1,0 +1,115 @@
+package rdf
+
+import "fmt"
+
+// Builder constructs a Graph incrementally. URI and Literal perform
+// get-or-create lookups so that the finished graph satisfies the RDF
+// uniqueness conditions by construction; Blank always creates a fresh node
+// unless a local name is reused within the same builder (mirroring how blank
+// node labels scope to a single document).
+//
+// A Builder is not safe for concurrent use.
+type Builder struct {
+	name    string
+	labels  []Label
+	triples []Triple
+	uris    map[string]NodeID
+	lits    map[string]NodeID
+	blanks  map[string]NodeID
+}
+
+// NewBuilder returns an empty builder for a graph with the given diagnostic
+// name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:   name,
+		uris:   make(map[string]NodeID),
+		lits:   make(map[string]NodeID),
+		blanks: make(map[string]NodeID),
+	}
+}
+
+// NumNodes returns the number of nodes created so far.
+func (b *Builder) NumNodes() int { return len(b.labels) }
+
+// NumTriples returns the number of triples added so far (before
+// deduplication).
+func (b *Builder) NumTriples() int { return len(b.triples) }
+
+func (b *Builder) add(l Label) NodeID {
+	id := NodeID(len(b.labels))
+	b.labels = append(b.labels, l)
+	return id
+}
+
+// URI returns the node labelled with the given URI, creating it on first
+// use.
+func (b *Builder) URI(v string) NodeID {
+	if id, ok := b.uris[v]; ok {
+		return id
+	}
+	id := b.add(URILabel(v))
+	b.uris[v] = id
+	return id
+}
+
+// Literal returns the node carrying the given literal value, creating it on
+// first use. Literal values are unique per graph (§2.1), so repeated data
+// strings share one node.
+func (b *Builder) Literal(v string) NodeID {
+	if id, ok := b.lits[v]; ok {
+		return id
+	}
+	id := b.add(LiteralLabel(v))
+	b.lits[v] = id
+	return id
+}
+
+// Blank returns the blank node with the given document-local name, creating
+// it on first use. The name is forgotten once the graph is built: all blank
+// nodes carry the same label.
+func (b *Builder) Blank(local string) NodeID {
+	if id, ok := b.blanks[local]; ok {
+		return id
+	}
+	id := b.add(BlankLabel())
+	b.blanks[local] = id
+	return id
+}
+
+// FreshBlank returns a new blank node with no reusable local name.
+func (b *Builder) FreshBlank() NodeID {
+	return b.add(BlankLabel())
+}
+
+// Triple records the edge (s, p, o). Duplicate triples are tolerated and
+// removed when the graph is built.
+func (b *Builder) Triple(s, p, o NodeID) {
+	b.triples = append(b.triples, Triple{S: s, P: p, O: o})
+}
+
+// TripleURI is a convenience for the overwhelmingly common pattern of a URI
+// predicate: it records (s, URI(p), o).
+func (b *Builder) TripleURI(s NodeID, p string, o NodeID) {
+	b.Triple(s, b.URI(p), o)
+}
+
+// Graph finalises the builder into an immutable Graph and validates the RDF
+// conditions of §2.1. The builder must not be used afterwards.
+func (b *Builder) Graph() (*Graph, error) {
+	g := freeze(b.name, b.labels, b.triples)
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MustGraph is Graph for construction sites (tests, generators) where a
+// validation failure is a bug.
+func (b *Builder) MustGraph() *Graph {
+	g, err := b.Graph()
+	if err != nil {
+		panic(fmt.Sprintf("rdf: MustGraph: %v", err))
+	}
+	return g
+}

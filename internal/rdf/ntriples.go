@@ -1,0 +1,399 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// This file implements reading and writing of the N-Triples syntax
+// (https://www.w3.org/TR/n-triples/), the line-oriented RDF serialisation
+// used to exchange the evaluation datasets. The subset implemented covers
+// everything the alignment data model can represent:
+//
+//	<uri> <uri> <uri> .
+//	<uri> <uri> "literal" .
+//	<uri> <uri> _:blank .
+//	_:blank <uri> <uri> .          (etc.)
+//
+// Comments (# ...) and blank lines are accepted. Literal language tags and
+// datatype IRIs are parsed and folded into the literal value verbatim
+// (`"v"@en` keeps the tag as part of the value), since the paper's data
+// model has plain string literals only.
+
+// ParseError describes a syntax error with its input position.
+type ParseError struct {
+	Line int    // 1-based line number
+	Col  int    // 1-based byte offset within the line
+	Msg  string // description of the problem
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ntriples: line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+// ParseNTriples reads an N-Triples document and builds a validated Graph
+// with the given diagnostic name.
+func ParseNTriples(r io.Reader, name string) (*Graph, error) {
+	b := NewBuilder(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		if err := parseLine(b, sc.Text(), lineNo); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ntriples: read: %w", err)
+	}
+	return b.Graph()
+}
+
+// ParseNTriplesString is ParseNTriples over an in-memory document.
+func ParseNTriplesString(doc, name string) (*Graph, error) {
+	return ParseNTriples(strings.NewReader(doc), name)
+}
+
+type lineParser struct {
+	s    string
+	pos  int
+	line int
+}
+
+func (p *lineParser) err(msg string) error {
+	return &ParseError{Line: p.line, Col: p.pos + 1, Msg: msg}
+}
+
+func (p *lineParser) skipWS() {
+	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *lineParser) eof() bool { return p.pos >= len(p.s) }
+
+func parseLine(b *Builder, line string, lineNo int) error {
+	p := &lineParser{s: line, line: lineNo}
+	p.skipWS()
+	if p.eof() || p.s[p.pos] == '#' {
+		return nil
+	}
+	s, err := p.term(b, false)
+	if err != nil {
+		return err
+	}
+	p.skipWS()
+	pr, err := p.term(b, false)
+	if err != nil {
+		return err
+	}
+	p.skipWS()
+	o, err := p.term(b, true)
+	if err != nil {
+		return err
+	}
+	p.skipWS()
+	if p.eof() || p.s[p.pos] != '.' {
+		return p.err("expected '.' terminator")
+	}
+	p.pos++
+	p.skipWS()
+	if !p.eof() && p.s[p.pos] != '#' {
+		return p.err("unexpected trailing content after '.'")
+	}
+	b.Triple(s, pr, o)
+	return nil
+}
+
+// term parses one RDF term. Literals are only admitted when object is true.
+func (p *lineParser) term(b *Builder, object bool) (NodeID, error) {
+	if p.eof() {
+		return 0, p.err("unexpected end of line, expected a term")
+	}
+	switch p.s[p.pos] {
+	case '<':
+		v, err := p.iri()
+		if err != nil {
+			return 0, err
+		}
+		return b.URI(v), nil
+	case '_':
+		v, err := p.blankLabel()
+		if err != nil {
+			return 0, err
+		}
+		return b.Blank(v), nil
+	case '"':
+		if !object {
+			return 0, p.err("literal not allowed in subject or predicate position")
+		}
+		v, err := p.literal()
+		if err != nil {
+			return 0, err
+		}
+		return b.Literal(v), nil
+	default:
+		return 0, p.err(fmt.Sprintf("unexpected character %q at start of term", p.s[p.pos]))
+	}
+}
+
+func (p *lineParser) iri() (string, error) {
+	p.pos++ // '<'
+	start := p.pos
+	var sb *strings.Builder
+	for p.pos < len(p.s) {
+		c := p.s[p.pos]
+		switch c {
+		case '>':
+			var v string
+			if sb != nil {
+				v = sb.String()
+			} else {
+				v = p.s[start:p.pos]
+			}
+			p.pos++
+			if v == "" {
+				return "", p.err("empty IRI")
+			}
+			return v, nil
+		case '\\':
+			if sb == nil {
+				sb = &strings.Builder{}
+				sb.WriteString(p.s[start:p.pos])
+			}
+			r, err := p.escape()
+			if err != nil {
+				return "", err
+			}
+			sb.WriteRune(r)
+		case ' ', '\t', '<', '"':
+			return "", p.err(fmt.Sprintf("character %q not allowed in IRI", c))
+		default:
+			if sb != nil {
+				sb.WriteByte(c)
+			}
+			p.pos++
+		}
+	}
+	return "", p.err("unterminated IRI")
+}
+
+func (p *lineParser) blankLabel() (string, error) {
+	if p.pos+1 >= len(p.s) || p.s[p.pos+1] != ':' {
+		return "", p.err("expected '_:' to start a blank node")
+	}
+	p.pos += 2
+	start := p.pos
+	for p.pos < len(p.s) {
+		c := p.s[p.pos]
+		if c == ' ' || c == '\t' {
+			break
+		}
+		if c == '.' && (p.pos+1 >= len(p.s) || p.s[p.pos+1] == ' ' || p.s[p.pos+1] == '\t') {
+			// A '.' that terminates the statement rather than being
+			// part of the label.
+			break
+		}
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.err("empty blank node label")
+	}
+	return p.s[start:p.pos], nil
+}
+
+func (p *lineParser) literal() (string, error) {
+	p.pos++ // opening quote
+	var sb strings.Builder
+	for p.pos < len(p.s) {
+		c := p.s[p.pos]
+		switch c {
+		case '"':
+			p.pos++
+			return sb.String() + p.literalSuffix(), nil
+		case '\\':
+			r, err := p.escape()
+			if err != nil {
+				return "", err
+			}
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte(c)
+			p.pos++
+		}
+	}
+	return "", p.err("unterminated literal")
+}
+
+// literalSuffix consumes an optional language tag or datatype annotation and
+// returns its verbatim text, which is folded into the literal value so that
+// round-tripping through our plain-literal model stays lossless enough for
+// alignment purposes.
+func (p *lineParser) literalSuffix() string {
+	start := p.pos
+	if p.pos < len(p.s) && p.s[p.pos] == '@' {
+		p.pos++
+		for p.pos < len(p.s) && p.s[p.pos] != ' ' && p.s[p.pos] != '\t' {
+			p.pos++
+		}
+		return p.s[start:p.pos]
+	}
+	if p.pos+1 < len(p.s) && p.s[p.pos] == '^' && p.s[p.pos+1] == '^' {
+		p.pos += 2
+		for p.pos < len(p.s) && p.s[p.pos] != ' ' && p.s[p.pos] != '\t' {
+			p.pos++
+		}
+		return p.s[start:p.pos]
+	}
+	return ""
+}
+
+// escape consumes a backslash escape sequence and returns the decoded rune.
+func (p *lineParser) escape() (rune, error) {
+	p.pos++ // '\'
+	if p.eof() {
+		return 0, p.err("dangling backslash")
+	}
+	c := p.s[p.pos]
+	p.pos++
+	switch c {
+	case 't':
+		return '\t', nil
+	case 'b':
+		return '\b', nil
+	case 'n':
+		return '\n', nil
+	case 'r':
+		return '\r', nil
+	case 'f':
+		return '\f', nil
+	case '"':
+		return '"', nil
+	case '\'':
+		return '\'', nil
+	case '\\':
+		return '\\', nil
+	case 'u':
+		return p.hexRune(4)
+	case 'U':
+		return p.hexRune(8)
+	default:
+		return 0, p.err(fmt.Sprintf("unknown escape \\%c", c))
+	}
+}
+
+func (p *lineParser) hexRune(n int) (rune, error) {
+	if p.pos+n > len(p.s) {
+		return 0, p.err("truncated unicode escape")
+	}
+	var v rune
+	for i := 0; i < n; i++ {
+		c := p.s[p.pos+i]
+		var d rune
+		switch {
+		case c >= '0' && c <= '9':
+			d = rune(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = rune(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = rune(c-'A') + 10
+		default:
+			return 0, p.err(fmt.Sprintf("invalid hex digit %q in unicode escape", c))
+		}
+		v = v<<4 | d
+	}
+	p.pos += n
+	if !utf8.ValidRune(v) {
+		return 0, p.err("escape is not a valid unicode code point")
+	}
+	return v, nil
+}
+
+// WriteNTriples serialises g as N-Triples. Blank nodes are written as _:bN
+// where N is the node ID, which round-trips node distinctness (though not,
+// of course, the IDs themselves). Triples are emitted in the graph's sorted
+// order, so output is deterministic.
+func WriteNTriples(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range g.triples {
+		if err := writeTerm(bw, g, t.S); err != nil {
+			return err
+		}
+		bw.WriteByte(' ')
+		if err := writeTerm(bw, g, t.P); err != nil {
+			return err
+		}
+		bw.WriteByte(' ')
+		if err := writeTerm(bw, g, t.O); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(" .\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// FormatNTriples returns the N-Triples serialisation as a string.
+func FormatNTriples(g *Graph) string {
+	var sb strings.Builder
+	if err := WriteNTriples(&sb, g); err != nil {
+		// strings.Builder never fails; any error is a bug.
+		panic(err)
+	}
+	return sb.String()
+}
+
+func writeTerm(w *bufio.Writer, g *Graph, n NodeID) error {
+	l := g.labels[n]
+	switch l.Kind {
+	case URI:
+		w.WriteByte('<')
+		escapeInto(w, l.Value, true)
+		return w.WriteByte('>')
+	case Literal:
+		w.WriteByte('"')
+		escapeInto(w, l.Value, false)
+		return w.WriteByte('"')
+	default:
+		_, err := fmt.Fprintf(w, "_:b%d", n)
+		return err
+	}
+}
+
+func escapeInto(w *bufio.Writer, s string, iri bool) {
+	for _, r := range s {
+		switch r {
+		case '\\':
+			w.WriteString(`\\`)
+		case '\n':
+			w.WriteString(`\n`)
+		case '\r':
+			w.WriteString(`\r`)
+		case '\t':
+			w.WriteString(`\t`)
+		case '"':
+			if iri {
+				fmt.Fprintf(w, `\u%04X`, r)
+			} else {
+				w.WriteString(`\"`)
+			}
+		case '>', '<':
+			if iri {
+				fmt.Fprintf(w, `\u%04X`, r)
+			} else {
+				w.WriteRune(r)
+			}
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(w, `\u%04X`, r)
+			} else {
+				w.WriteRune(r)
+			}
+		}
+	}
+}

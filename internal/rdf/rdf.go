@@ -1,0 +1,386 @@
+// Package rdf implements the triple-graph data model of Buneman & Staworko,
+// "RDF Graph Alignment with Bisimulation" (PVLDB 2016), Section 2.1.
+//
+// An RDF graph is usually presented as a set of (subject, predicate, object)
+// triples over URIs, literals and blank nodes. Because graph alignment works
+// with two graphs that may contain the same URI, the paper generalises this
+// to a *triple graph*: nodes are abstract identifiers, every node carries a
+// label (a URI, a literal value, or the distinguished blank label), and an
+// edge is a triple of node identifiers (s, p, o) — the predicate position is
+// itself a node so that it can participate in bisimulation.
+//
+// The package provides:
+//
+//   - Graph: an immutable, validated triple graph with CSR adjacency,
+//   - Builder: incremental construction with get-or-create label lookup,
+//   - Union: the disjoint union G1 ⊎ G2 used by every alignment method,
+//   - N-Triples parsing and serialisation (see ntriples.go),
+//   - Stats: the node/edge counts reported in the paper's Figures 9 and 12.
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// NodeID identifies a node inside one Graph. IDs are dense indexes
+// 0..NumNodes-1, so algorithms can use slices instead of maps for per-node
+// state. IDs are meaningless across graphs except through Union, which
+// offsets the second graph's IDs by the first graph's node count.
+type NodeID int32
+
+// Kind distinguishes the three label kinds of the RDF data model.
+type Kind uint8
+
+const (
+	// URI labels identify resources. In a valid RDF graph no two nodes
+	// share a URI label.
+	URI Kind = iota
+	// Literal labels carry data strings. In a valid RDF graph no two
+	// nodes share a literal label, and literal nodes appear only in the
+	// object position.
+	Literal
+	// Blank is the single distinguished label ⊥ carried by every blank
+	// node. Blank nodes have no persistent identity; the alignment
+	// methods of this repository exist largely to recover one.
+	Blank
+)
+
+// String returns the conventional name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case URI:
+		return "uri"
+	case Literal:
+		return "literal"
+	case Blank:
+		return "blank"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Label is a node label: a kind plus, for URIs and literals, the label
+// value. All blank nodes carry the same label (Kind == Blank, empty Value):
+// the local names used in serialisations such as "_:b1" are scoping devices,
+// not part of the data model (paper §2.1).
+type Label struct {
+	Kind  Kind
+	Value string
+}
+
+// URILabel constructs a URI label.
+func URILabel(v string) Label { return Label{Kind: URI, Value: v} }
+
+// LiteralLabel constructs a literal label.
+func LiteralLabel(v string) Label { return Label{Kind: Literal, Value: v} }
+
+// BlankLabel returns the distinguished blank label.
+func BlankLabel() Label { return Label{Kind: Blank} }
+
+// String renders the label using the paper's typography conventions:
+// URIs bare, literals quoted, blanks as ⊥.
+func (l Label) String() string {
+	switch l.Kind {
+	case URI:
+		return l.Value
+	case Literal:
+		return fmt.Sprintf("%q", l.Value)
+	default:
+		return "⊥"
+	}
+}
+
+// Triple is one edge of a triple graph. All three positions are nodes of the
+// same graph; the predicate node P participates in alignment like any other
+// node.
+type Triple struct {
+	S, P, O NodeID
+}
+
+// Edge is the outbound half-edge (p, o) of a triple, i.e. one element of
+// out_G(s) = {(p, o) | (s, p, o) ∈ E_G} (paper §2.3).
+type Edge struct {
+	P, O NodeID
+}
+
+// Graph is an immutable triple graph. Construct one with a Builder, by
+// parsing N-Triples, or by Union. The zero Graph is empty and usable.
+type Graph struct {
+	name    string
+	labels  []Label
+	triples []Triple // sorted by (S, P, O), deduplicated
+
+	// CSR adjacency: out edges of node n are
+	// outEdges[outIndex[n]:outIndex[n+1]], sorted by (P, O).
+	outIndex []int32
+	outEdges []Edge
+
+	// Reverse adjacency, built lazily on first In() call (only the
+	// context-aware refinement variants need it).
+	inOnce  sync.Once
+	inIndex []int32
+	inEdges []Edge
+
+	// Predicate-occurrence adjacency, built lazily on first PredOcc()
+	// call (only the adaptive refinement variant needs it).
+	poOnce  sync.Once
+	poIndex []int32
+	poEdges []Edge
+
+	blanks int // number of blank-labelled nodes
+	lits   int // number of literal-labelled nodes
+}
+
+// Name returns the diagnostic name given at construction (e.g. a version
+// identifier). It plays no role in alignment.
+func (g *Graph) Name() string { return g.name }
+
+// NumNodes returns |N_G|.
+func (g *Graph) NumNodes() int { return len(g.labels) }
+
+// NumTriples returns |E_G|.
+func (g *Graph) NumTriples() int { return len(g.triples) }
+
+// NumBlanks returns |Blanks(G)|.
+func (g *Graph) NumBlanks() int { return g.blanks }
+
+// NumLiterals returns |Literals(G)|.
+func (g *Graph) NumLiterals() int { return g.lits }
+
+// NumURIs returns |URIs(G)|.
+func (g *Graph) NumURIs() int { return len(g.labels) - g.blanks - g.lits }
+
+// Label returns the label of node n. It panics if n is out of range, which
+// always indicates a programming error (node IDs are never user input).
+func (g *Graph) Label(n NodeID) Label { return g.labels[n] }
+
+// IsLiteral reports whether node n carries a literal label.
+func (g *Graph) IsLiteral(n NodeID) bool { return g.labels[n].Kind == Literal }
+
+// IsBlank reports whether node n is blank.
+func (g *Graph) IsBlank(n NodeID) bool { return g.labels[n].Kind == Blank }
+
+// IsURI reports whether node n carries a URI label.
+func (g *Graph) IsURI(n NodeID) bool { return g.labels[n].Kind == URI }
+
+// Out returns the outbound neighbourhood out_G(n) as a slice sorted by
+// (P, O). The slice aliases the graph's internal storage and must not be
+// modified.
+func (g *Graph) Out(n NodeID) []Edge {
+	return g.outEdges[g.outIndex[n]:g.outIndex[n+1]]
+}
+
+// OutDegree returns |out_G(n)|.
+func (g *Graph) OutDegree(n NodeID) int {
+	return int(g.outIndex[n+1] - g.outIndex[n])
+}
+
+// In returns the inbound neighbourhood of node n as (p, s) half-edges — for
+// every triple (s, p, n), the pair {P: p, O: s} — sorted by (P, O). The
+// paper's core methods use outbound neighbourhoods only (§2.3); In supports
+// the context-aware refinement variants sketched in §3.3 and §6. The slice
+// aliases lazily built internal storage and must not be modified.
+func (g *Graph) In(n NodeID) []Edge {
+	g.inOnce.Do(g.buildIn)
+	return g.inEdges[g.inIndex[n]:g.inIndex[n+1]]
+}
+
+// InDegree returns the number of triples with object n.
+func (g *Graph) InDegree(n NodeID) int {
+	g.inOnce.Do(g.buildIn)
+	return int(g.inIndex[n+1] - g.inIndex[n])
+}
+
+func (g *Graph) buildIn() {
+	g.inIndex = make([]int32, len(g.labels)+1)
+	for _, t := range g.triples {
+		g.inIndex[t.O+1]++
+	}
+	for i := 1; i <= len(g.labels); i++ {
+		g.inIndex[i] += g.inIndex[i-1]
+	}
+	g.inEdges = make([]Edge, len(g.triples))
+	cursor := make([]int32, len(g.labels))
+	copy(cursor, g.inIndex[:len(g.labels)])
+	for _, t := range g.triples {
+		g.inEdges[cursor[t.O]] = Edge{P: t.P, O: t.S}
+		cursor[t.O]++
+	}
+	// Sort each node's in-edge run by (P, O) for determinism.
+	for n := 0; n < len(g.labels); n++ {
+		run := g.inEdges[g.inIndex[n]:g.inIndex[n+1]]
+		sort.Slice(run, func(i, j int) bool {
+			if run[i].P != run[j].P {
+				return run[i].P < run[j].P
+			}
+			return run[i].O < run[j].O
+		})
+	}
+}
+
+// PredOcc returns the predicate occurrences of node n as (s, o) pairs — for
+// every triple (s, n, o), the pair {P: s, O: o} — sorted by (P, O). It
+// supports the refinement variant §5.1 suggests for URIs used only in
+// predicate position ("one that incorporates the colors of the subject and
+// the object in any triple that uses the given predicate"). The slice
+// aliases lazily built internal storage and must not be modified.
+func (g *Graph) PredOcc(n NodeID) []Edge {
+	g.poOnce.Do(g.buildPredOcc)
+	return g.poEdges[g.poIndex[n]:g.poIndex[n+1]]
+}
+
+// PredOccDegree returns the number of triples with predicate n.
+func (g *Graph) PredOccDegree(n NodeID) int {
+	g.poOnce.Do(g.buildPredOcc)
+	return int(g.poIndex[n+1] - g.poIndex[n])
+}
+
+func (g *Graph) buildPredOcc() {
+	g.poIndex = make([]int32, len(g.labels)+1)
+	for _, t := range g.triples {
+		g.poIndex[t.P+1]++
+	}
+	for i := 1; i <= len(g.labels); i++ {
+		g.poIndex[i] += g.poIndex[i-1]
+	}
+	g.poEdges = make([]Edge, len(g.triples))
+	cursor := make([]int32, len(g.labels))
+	copy(cursor, g.poIndex[:len(g.labels)])
+	for _, t := range g.triples {
+		g.poEdges[cursor[t.P]] = Edge{P: t.S, O: t.O}
+		cursor[t.P]++
+	}
+	for n := 0; n < len(g.labels); n++ {
+		run := g.poEdges[g.poIndex[n]:g.poIndex[n+1]]
+		sort.Slice(run, func(i, j int) bool {
+			if run[i].P != run[j].P {
+				return run[i].P < run[j].P
+			}
+			return run[i].O < run[j].O
+		})
+	}
+}
+
+// Triples returns the edge list sorted by (S, P, O). The slice aliases
+// internal storage and must not be modified.
+func (g *Graph) Triples() []Triple { return g.triples }
+
+// Nodes calls f for every node in increasing ID order.
+func (g *Graph) Nodes(f func(NodeID)) {
+	for n := 0; n < len(g.labels); n++ {
+		f(NodeID(n))
+	}
+}
+
+// FindURI returns the node labelled with the given URI, if any. It is a
+// linear scan intended for tests and small tools; algorithms should carry
+// node IDs instead. The boolean reports whether the node exists.
+func (g *Graph) FindURI(uri string) (NodeID, bool) {
+	for i, l := range g.labels {
+		if l.Kind == URI && l.Value == uri {
+			return NodeID(i), true
+		}
+	}
+	return -1, false
+}
+
+// FindLiteral is the literal counterpart of FindURI.
+func (g *Graph) FindLiteral(v string) (NodeID, bool) {
+	for i, l := range g.labels {
+		if l.Kind == Literal && l.Value == v {
+			return NodeID(i), true
+		}
+	}
+	return -1, false
+}
+
+// freeze finalises a graph under construction: it sorts and deduplicates the
+// triple list and builds the CSR adjacency. labels must already be final.
+func freeze(name string, labels []Label, triples []Triple) *Graph {
+	sort.Slice(triples, func(i, j int) bool {
+		a, b := triples[i], triples[j]
+		if a.S != b.S {
+			return a.S < b.S
+		}
+		if a.P != b.P {
+			return a.P < b.P
+		}
+		return a.O < b.O
+	})
+	// Deduplicate: E_G is a set of triples.
+	dedup := triples[:0]
+	var prev Triple
+	for i, t := range triples {
+		if i > 0 && t == prev {
+			continue
+		}
+		dedup = append(dedup, t)
+		prev = t
+	}
+	triples = dedup
+
+	g := &Graph{name: name, labels: labels, triples: triples}
+	g.outIndex = make([]int32, len(labels)+1)
+	for _, t := range triples {
+		g.outIndex[t.S+1]++
+	}
+	for i := 1; i <= len(labels); i++ {
+		g.outIndex[i] += g.outIndex[i-1]
+	}
+	g.outEdges = make([]Edge, len(triples))
+	cursor := make([]int32, len(labels))
+	copy(cursor, g.outIndex[:len(labels)])
+	for _, t := range triples {
+		g.outEdges[cursor[t.S]] = Edge{P: t.P, O: t.O}
+		cursor[t.S]++
+	}
+	for _, l := range labels {
+		switch l.Kind {
+		case Blank:
+			g.blanks++
+		case Literal:
+			g.lits++
+		}
+	}
+	return g
+}
+
+// Validate checks the RDF-graph conditions of §2.1 on top of the triple
+// graph model: no two nodes share a URI or literal label, literal nodes
+// occur only as objects, and predicates are not blank. It returns the first
+// violation found, or nil. Builders call this automatically unless asked
+// not to; Union does not re-validate (a union of two RDF graphs is
+// legitimately *not* an RDF graph, since labels may repeat across sides).
+func (g *Graph) Validate() error {
+	seenURI := make(map[string]NodeID, len(g.labels))
+	seenLit := make(map[string]NodeID)
+	for i, l := range g.labels {
+		n := NodeID(i)
+		switch l.Kind {
+		case URI:
+			if m, ok := seenURI[l.Value]; ok {
+				return fmt.Errorf("rdf: graph %q: nodes %d and %d share URI label %s", g.name, m, n, l.Value)
+			}
+			seenURI[l.Value] = n
+		case Literal:
+			if m, ok := seenLit[l.Value]; ok {
+				return fmt.Errorf("rdf: graph %q: nodes %d and %d share literal label %q", g.name, m, n, l.Value)
+			}
+			seenLit[l.Value] = n
+		}
+	}
+	for _, t := range g.triples {
+		if g.labels[t.P].Kind == Blank {
+			return fmt.Errorf("rdf: graph %q: triple (%d,%d,%d) has blank predicate", g.name, t.S, t.P, t.O)
+		}
+		if g.labels[t.P].Kind == Literal {
+			return fmt.Errorf("rdf: graph %q: triple (%d,%d,%d) has literal predicate %s", g.name, t.S, t.P, t.O, g.labels[t.P])
+		}
+		if g.labels[t.S].Kind == Literal {
+			return fmt.Errorf("rdf: graph %q: triple (%d,%d,%d) has literal subject %s", g.name, t.S, t.P, t.O, g.labels[t.S])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package rdf
+
+import "fmt"
+
+// Stats summarises a graph with the counts the paper reports for every
+// dataset version (Figures 9, 12 and 16).
+type Stats struct {
+	Name     string
+	Nodes    int
+	URIs     int
+	Literals int
+	Blanks   int
+	Triples  int
+}
+
+// GatherStats computes the node and edge counts of g.
+func GatherStats(g *Graph) Stats {
+	return Stats{
+		Name:     g.Name(),
+		Nodes:    g.NumNodes(),
+		URIs:     g.NumURIs(),
+		Literals: g.NumLiterals(),
+		Blanks:   g.NumBlanks(),
+		Triples:  g.NumTriples(),
+	}
+}
+
+// String renders the stats in a single line.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: nodes=%d (uris=%d literals=%d blanks=%d) triples=%d",
+		s.Name, s.Nodes, s.URIs, s.Literals, s.Blanks, s.Triples)
+}

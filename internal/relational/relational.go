@@ -1,0 +1,444 @@
+// Package relational implements the relational-database substrate of the
+// GtoPdb experiment in Buneman & Staworko (PVLDB 2016, §5.2): an in-memory
+// relational engine with typed columns, primary keys and foreign keys, plus
+// the W3C Direct Mapping [18] that exports a database to RDF — the paper
+// exports every database version "with a different URI prefix" to force the
+// alignment methods to work from content and structure alone.
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// ColType is the type of a column.
+type ColType uint8
+
+const (
+	// Int columns hold 64-bit integers.
+	Int ColType = iota
+	// Float columns hold 64-bit floats.
+	Float
+	// Text columns hold strings.
+	Text
+	// Bool columns hold booleans.
+	Bool
+)
+
+// String names the type.
+func (t ColType) String() string {
+	switch t {
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Text:
+		return "text"
+	case Bool:
+		return "bool"
+	default:
+		return fmt.Sprintf("coltype(%d)", uint8(t))
+	}
+}
+
+// Column describes one column of a table.
+type Column struct {
+	Name     string
+	Type     ColType
+	Nullable bool
+}
+
+// ForeignKey declares that a local column references the primary key of
+// another table. Composite foreign keys are not needed by the substrate and
+// are not supported.
+type ForeignKey struct {
+	Column   string
+	RefTable string
+}
+
+// Schema describes a table: columns, primary key, and foreign keys. A table
+// without a primary key is allowed; the direct mapping renders its rows as
+// blank nodes (per the W3C recommendation).
+type Schema struct {
+	Name        string
+	Columns     []Column
+	Key         []string
+	ForeignKeys []ForeignKey
+}
+
+// Value is a nullable SQL value.
+type Value struct {
+	typ  ColType
+	null bool
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// NullValue returns the NULL of the given type.
+func NullValue(t ColType) Value { return Value{typ: t, null: true} }
+
+// IntValue wraps an integer.
+func IntValue(i int64) Value { return Value{typ: Int, i: i} }
+
+// FloatValue wraps a float.
+func FloatValue(f float64) Value { return Value{typ: Float, f: f} }
+
+// TextValue wraps a string.
+func TextValue(s string) Value { return Value{typ: Text, s: s} }
+
+// BoolValue wraps a boolean.
+func BoolValue(b bool) Value { return Value{typ: Bool, b: b} }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.null }
+
+// Type returns the value's type.
+func (v Value) Type() ColType { return v.typ }
+
+// Int returns the integer content (0 for NULL or non-int).
+func (v Value) Int() int64 { return v.i }
+
+// Text returns the string content.
+func (v Value) Text() string { return v.s }
+
+// Lexical returns the W3C lexical form of the value, used both for literal
+// triples and for row-identifier construction. NULL has no lexical form;
+// callers must check IsNull first.
+func (v Value) Lexical() string {
+	switch v.typ {
+	case Int:
+		return strconv.FormatInt(v.i, 10)
+	case Float:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case Bool:
+		return strconv.FormatBool(v.b)
+	default:
+		return v.s
+	}
+}
+
+// Equal reports deep value equality.
+func (v Value) Equal(o Value) bool {
+	if v.typ != o.typ || v.null != o.null {
+		return false
+	}
+	if v.null {
+		return true
+	}
+	return v == o
+}
+
+// Row is one tuple, indexed by column position.
+type Row []Value
+
+// Table holds a schema and its rows.
+type Table struct {
+	Schema Schema
+	colIdx map[string]int
+	keyIdx []int
+	rows   []Row
+	// byKey maps the encoded primary key to the row position; nil for
+	// keyless tables.
+	byKey map[string]int
+	// deleted marks tombstoned row positions.
+	deleted []bool
+	live    int
+}
+
+// Database is a set of tables in creation order.
+type Database struct {
+	tables map[string]*Table
+	order  []string
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{tables: make(map[string]*Table)}
+}
+
+// CreateTable adds a table. Key and foreign key columns must exist;
+// referenced tables are checked lazily at insert time so that schemas can
+// reference each other in any creation order.
+func (db *Database) CreateTable(s Schema) error {
+	if s.Name == "" {
+		return fmt.Errorf("relational: table with empty name")
+	}
+	if _, ok := db.tables[s.Name]; ok {
+		return fmt.Errorf("relational: table %s already exists", s.Name)
+	}
+	t := &Table{Schema: s, colIdx: make(map[string]int, len(s.Columns))}
+	for i, c := range s.Columns {
+		if _, dup := t.colIdx[c.Name]; dup {
+			return fmt.Errorf("relational: table %s: duplicate column %s", s.Name, c.Name)
+		}
+		t.colIdx[c.Name] = i
+	}
+	for _, k := range s.Key {
+		i, ok := t.colIdx[k]
+		if !ok {
+			return fmt.Errorf("relational: table %s: key column %s does not exist", s.Name, k)
+		}
+		t.keyIdx = append(t.keyIdx, i)
+	}
+	for _, fk := range s.ForeignKeys {
+		if _, ok := t.colIdx[fk.Column]; !ok {
+			return fmt.Errorf("relational: table %s: foreign key column %s does not exist", s.Name, fk.Column)
+		}
+	}
+	if len(s.Key) > 0 {
+		t.byKey = make(map[string]int)
+	}
+	db.tables[s.Name] = t
+	db.order = append(db.order, s.Name)
+	return nil
+}
+
+// Table returns the named table, or nil.
+func (db *Database) Table(name string) *Table { return db.tables[name] }
+
+// TableNames returns the table names in creation order.
+func (db *Database) TableNames() []string {
+	return append([]string(nil), db.order...)
+}
+
+// encodeKey builds the canonical key string of a row.
+func (t *Table) encodeKey(r Row) string {
+	key := ""
+	for i, ki := range t.keyIdx {
+		if i > 0 {
+			key += "\x1f"
+		}
+		key += r[ki].Lexical()
+	}
+	return key
+}
+
+// Insert adds a row given as column→value map. Missing nullable columns
+// default to NULL; missing non-nullable columns are an error, as are type
+// mismatches, duplicate primary keys and dangling foreign keys.
+func (db *Database) Insert(table string, vals map[string]Value) error {
+	t := db.tables[table]
+	if t == nil {
+		return fmt.Errorf("relational: insert into unknown table %s", table)
+	}
+	row := make(Row, len(t.Schema.Columns))
+	for i, c := range t.Schema.Columns {
+		v, ok := vals[c.Name]
+		if !ok {
+			v = NullValue(c.Type)
+		}
+		if v.typ != c.Type {
+			return fmt.Errorf("relational: %s.%s: value type %s does not match column type %s",
+				table, c.Name, v.typ, c.Type)
+		}
+		if v.null && !c.Nullable && !contains(t.Schema.Key, c.Name) {
+			return fmt.Errorf("relational: %s.%s: NULL in non-nullable column", table, c.Name)
+		}
+		if v.null && contains(t.Schema.Key, c.Name) {
+			return fmt.Errorf("relational: %s.%s: NULL in key column", table, c.Name)
+		}
+		row[i] = v
+	}
+	for name := range vals {
+		if _, ok := t.colIdx[name]; !ok {
+			return fmt.Errorf("relational: %s: unknown column %s", table, name)
+		}
+	}
+	if err := db.checkForeignKeys(t, row); err != nil {
+		return err
+	}
+	if t.byKey != nil {
+		k := t.encodeKey(row)
+		if _, dup := t.byKey[k]; dup {
+			return fmt.Errorf("relational: %s: duplicate primary key %q", table, k)
+		}
+		t.byKey[k] = len(t.rows)
+	}
+	t.rows = append(t.rows, row)
+	t.deleted = append(t.deleted, false)
+	t.live++
+	return nil
+}
+
+func (db *Database) checkForeignKeys(t *Table, row Row) error {
+	for _, fk := range t.Schema.ForeignKeys {
+		v := row[t.colIdx[fk.Column]]
+		if v.null {
+			continue
+		}
+		ref := db.tables[fk.RefTable]
+		if ref == nil {
+			return fmt.Errorf("relational: %s.%s references unknown table %s",
+				t.Schema.Name, fk.Column, fk.RefTable)
+		}
+		if ref.byKey == nil {
+			return fmt.Errorf("relational: %s.%s references keyless table %s",
+				t.Schema.Name, fk.Column, fk.RefTable)
+		}
+		i, ok := ref.byKey[v.Lexical()]
+		if !ok || ref.deleted[i] {
+			return fmt.Errorf("relational: %s.%s=%s: no such row in %s",
+				t.Schema.Name, fk.Column, v.Lexical(), fk.RefTable)
+		}
+	}
+	return nil
+}
+
+// Get returns the row with the given encoded key.
+func (t *Table) Get(key string) (Row, bool) {
+	if t.byKey == nil {
+		return nil, false
+	}
+	i, ok := t.byKey[key]
+	if !ok || t.deleted[i] {
+		return nil, false
+	}
+	return t.rows[i], true
+}
+
+// Update replaces the value of one column of the row with the given key.
+// Key columns cannot be updated (the paper's ground truth relies on
+// persistent keys; key changes are modelled as delete+insert).
+func (db *Database) Update(table, key, column string, v Value) error {
+	t := db.tables[table]
+	if t == nil {
+		return fmt.Errorf("relational: update on unknown table %s", table)
+	}
+	ci, ok := t.colIdx[column]
+	if !ok {
+		return fmt.Errorf("relational: %s: unknown column %s", table, column)
+	}
+	if contains(t.Schema.Key, column) {
+		return fmt.Errorf("relational: %s: cannot update key column %s", table, column)
+	}
+	i, ok := t.byKey[key]
+	if !ok || t.deleted[i] {
+		return fmt.Errorf("relational: %s: no row with key %q", table, key)
+	}
+	col := t.Schema.Columns[ci]
+	if v.typ != col.Type {
+		return fmt.Errorf("relational: %s.%s: value type %s does not match column type %s",
+			table, column, v.typ, col.Type)
+	}
+	if v.null && !col.Nullable {
+		return fmt.Errorf("relational: %s.%s: NULL in non-nullable column", table, column)
+	}
+	candidate := append(Row(nil), t.rows[i]...)
+	candidate[ci] = v
+	if err := db.checkForeignKeys(t, candidate); err != nil {
+		return err
+	}
+	t.rows[i] = candidate
+	return nil
+}
+
+// Delete removes the row with the given key. It fails if another live row
+// references it (restrict semantics), keeping every snapshot referentially
+// intact.
+func (db *Database) Delete(table, key string) error {
+	t := db.tables[table]
+	if t == nil {
+		return fmt.Errorf("relational: delete on unknown table %s", table)
+	}
+	i, ok := t.byKey[key]
+	if !ok || t.deleted[i] {
+		return fmt.Errorf("relational: %s: no row with key %q", table, key)
+	}
+	// Restrict: scan referencing tables.
+	for _, name := range db.order {
+		rt := db.tables[name]
+		for _, fk := range rt.Schema.ForeignKeys {
+			if fk.RefTable != table {
+				continue
+			}
+			ci := rt.colIdx[fk.Column]
+			for j, row := range rt.rows {
+				if rt.deleted[j] || row[ci].null {
+					continue
+				}
+				if row[ci].Lexical() == key {
+					return fmt.Errorf("relational: %s[%s] is referenced by %s.%s",
+						table, key, name, fk.Column)
+				}
+			}
+		}
+	}
+	t.deleted[i] = true
+	t.live--
+	delete(t.byKey, key)
+	return nil
+}
+
+// NumRows returns the live row count.
+func (t *Table) NumRows() int { return t.live }
+
+// ForEach visits live rows in insertion order with their encoded keys.
+func (t *Table) ForEach(f func(key string, r Row)) {
+	for i, r := range t.rows {
+		if t.deleted[i] {
+			continue
+		}
+		key := ""
+		if t.byKey != nil {
+			key = t.encodeKey(r)
+		}
+		f(key, r)
+	}
+}
+
+// Keys returns the live keys in sorted order (deterministic iteration for
+// evolution operators).
+func (t *Table) Keys() []string {
+	keys := make([]string, 0, t.live)
+	for k := range t.byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Clone deep-copies the database, so that evolution can snapshot versions.
+func (db *Database) Clone() *Database {
+	out := NewDatabase()
+	for _, name := range db.order {
+		t := db.tables[name]
+		if err := out.CreateTable(t.Schema); err != nil {
+			panic(err) // cannot happen: schema was valid
+		}
+		nt := out.tables[name]
+		for i, r := range t.rows {
+			if t.deleted[i] {
+				continue
+			}
+			row := append(Row(nil), r...)
+			if nt.byKey != nil {
+				nt.byKey[nt.encodeKey(row)] = len(nt.rows)
+			}
+			nt.rows = append(nt.rows, row)
+			nt.deleted = append(nt.deleted, false)
+			nt.live++
+		}
+	}
+	return out
+}
+
+// NumRows returns the total live row count of the database.
+func (db *Database) NumRows() int {
+	total := 0
+	for _, name := range db.order {
+		total += db.tables[name].live
+	}
+	return total
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

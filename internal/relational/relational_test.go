@@ -1,0 +1,361 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+
+	"rdfalign/internal/rdf"
+)
+
+func sampleDB(t testing.TB) *Database {
+	t.Helper()
+	db := NewDatabase()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(db.CreateTable(Schema{
+		Name: "ligand",
+		Columns: []Column{
+			{Name: "id", Type: Int},
+			{Name: "name", Type: Text},
+			{Name: "comment", Type: Text, Nullable: true},
+		},
+		Key: []string{"id"},
+	}))
+	must(db.CreateTable(Schema{
+		Name: "interaction",
+		Columns: []Column{
+			{Name: "id", Type: Int},
+			{Name: "ligand_id", Type: Int},
+			{Name: "affinity", Type: Float, Nullable: true},
+		},
+		Key:         []string{"id"},
+		ForeignKeys: []ForeignKey{{Column: "ligand_id", RefTable: "ligand"}},
+	}))
+	must(db.Insert("ligand", map[string]Value{
+		"id": IntValue(685), "name": TextValue("calcitonin"),
+	}))
+	must(db.Insert("ligand", map[string]Value{
+		"id": IntValue(686), "name": TextValue("adrenaline"), "comment": TextValue("aka epinephrine"),
+	}))
+	must(db.Insert("interaction", map[string]Value{
+		"id": IntValue(1), "ligand_id": IntValue(685), "affinity": FloatValue(7.5),
+	}))
+	return db
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	db := NewDatabase()
+	if err := db.CreateTable(Schema{Name: ""}); err == nil {
+		t.Error("empty table name accepted")
+	}
+	ok := Schema{Name: "t", Columns: []Column{{Name: "id", Type: Int}}, Key: []string{"id"}}
+	if err := db.CreateTable(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(ok); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if err := db.CreateTable(Schema{Name: "bad", Columns: []Column{{Name: "a", Type: Int}, {Name: "a", Type: Int}}}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if err := db.CreateTable(Schema{Name: "bad2", Columns: []Column{{Name: "a", Type: Int}}, Key: []string{"nope"}}); err == nil {
+		t.Error("missing key column accepted")
+	}
+	if err := db.CreateTable(Schema{Name: "bad3", Columns: []Column{{Name: "a", Type: Int}}, ForeignKeys: []ForeignKey{{Column: "nope", RefTable: "t"}}}); err == nil {
+		t.Error("missing FK column accepted")
+	}
+}
+
+func TestInsertConstraints(t *testing.T) {
+	db := sampleDB(t)
+	cases := []struct {
+		name  string
+		table string
+		vals  map[string]Value
+	}{
+		{"unknown table", "nope", map[string]Value{}},
+		{"duplicate pk", "ligand", map[string]Value{"id": IntValue(685), "name": TextValue("x")}},
+		{"type mismatch", "ligand", map[string]Value{"id": TextValue("x"), "name": TextValue("y")}},
+		{"null in non-nullable", "ligand", map[string]Value{"id": IntValue(9), "name": NullValue(Text)}},
+		{"missing non-nullable", "ligand", map[string]Value{"id": IntValue(9)}},
+		{"null key", "ligand", map[string]Value{"id": NullValue(Int), "name": TextValue("x")}},
+		{"unknown column", "ligand", map[string]Value{"id": IntValue(9), "name": TextValue("x"), "bogus": IntValue(1)}},
+		{"dangling fk", "interaction", map[string]Value{"id": IntValue(2), "ligand_id": IntValue(999)}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := db.Insert(c.table, c.vals); err == nil {
+				t.Errorf("insert %v accepted", c.vals)
+			}
+		})
+	}
+	if db.Table("ligand").NumRows() != 2 {
+		t.Error("failed inserts must not change row counts")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	db := sampleDB(t)
+	if err := db.Update("ligand", "685", "name", TextValue("calcitonin salmon")); err != nil {
+		t.Fatal(err)
+	}
+	row, ok := db.Table("ligand").Get("685")
+	if !ok || row[1].Text() != "calcitonin salmon" {
+		t.Error("update did not apply")
+	}
+	if err := db.Update("ligand", "685", "id", IntValue(9)); err == nil {
+		t.Error("key column update accepted")
+	}
+	if err := db.Update("ligand", "999", "name", TextValue("x")); err == nil {
+		t.Error("update of missing row accepted")
+	}
+	if err := db.Update("ligand", "685", "name", IntValue(3)); err == nil {
+		t.Error("type-mismatched update accepted")
+	}
+	if err := db.Update("ligand", "685", "name", NullValue(Text)); err == nil {
+		t.Error("NULL update of non-nullable column accepted")
+	}
+	if err := db.Update("interaction", "1", "ligand_id", IntValue(999)); err == nil {
+		t.Error("update to dangling FK accepted")
+	}
+}
+
+func TestDeleteRestrict(t *testing.T) {
+	db := sampleDB(t)
+	if err := db.Delete("ligand", "685"); err == nil {
+		t.Error("delete of referenced row accepted (restrict semantics)")
+	}
+	if err := db.Delete("interaction", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete("ligand", "685"); err != nil {
+		t.Errorf("delete after removing referencer: %v", err)
+	}
+	if db.Table("ligand").NumRows() != 1 {
+		t.Error("row count after delete")
+	}
+	if _, ok := db.Table("ligand").Get("685"); ok {
+		t.Error("deleted row still visible")
+	}
+	if err := db.Delete("ligand", "685"); err == nil {
+		t.Error("double delete accepted")
+	}
+	// The freed key can be reused.
+	if err := db.Insert("ligand", map[string]Value{"id": IntValue(685), "name": TextValue("new calcitonin")}); err != nil {
+		t.Errorf("re-insert of deleted key: %v", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	db := sampleDB(t)
+	snap := db.Clone()
+	if err := db.Update("ligand", "685", "name", TextValue("changed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("ligand", map[string]Value{"id": IntValue(700), "name": TextValue("x")}); err != nil {
+		t.Fatal(err)
+	}
+	row, ok := snap.Table("ligand").Get("685")
+	if !ok || row[1].Text() != "calcitonin" {
+		t.Error("clone affected by later update")
+	}
+	if snap.Table("ligand").NumRows() != 2 {
+		t.Error("clone affected by later insert")
+	}
+	if db.NumRows() == snap.NumRows() {
+		t.Error("original should have grown")
+	}
+}
+
+func TestKeysSortedAndForEach(t *testing.T) {
+	db := sampleDB(t)
+	keys := db.Table("ligand").Keys()
+	if len(keys) != 2 || keys[0] != "685" || keys[1] != "686" {
+		t.Errorf("Keys = %v", keys)
+	}
+	count := 0
+	db.Table("ligand").ForEach(func(key string, r Row) {
+		count++
+		if key == "" {
+			t.Error("keyed table rows must report their key")
+		}
+	})
+	if count != 2 {
+		t.Errorf("ForEach visited %d rows, want 2", count)
+	}
+}
+
+func TestDirectMapBasics(t *testing.T) {
+	db := sampleDB(t)
+	g, err := DirectMap(db, MappingOptions{Prefix: "http://ex.org/v1/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row URIs.
+	if _, ok := g.FindURI("http://ex.org/v1/ligand/id=685"); !ok {
+		t.Errorf("missing tuple URI; graph:\n%s", rdf.FormatNTriples(g))
+	}
+	// Literal triples for value columns.
+	if _, ok := g.FindLiteral("calcitonin"); !ok {
+		t.Error("missing literal for value attribute")
+	}
+	if _, ok := g.FindLiteral("7.5"); !ok {
+		t.Error("missing float literal")
+	}
+	// Reference triple for the FK.
+	pred, ok := g.FindURI("http://ex.org/v1/interaction#ref-ligand_id")
+	if !ok {
+		t.Fatal("missing FK predicate URI")
+	}
+	inter, ok := g.FindURI("http://ex.org/v1/interaction/id=1")
+	if !ok {
+		t.Fatal("missing interaction tuple URI")
+	}
+	lig, _ := g.FindURI("http://ex.org/v1/ligand/id=685")
+	found := false
+	for _, e := range g.Out(inter) {
+		if e.P == pred && e.O == lig {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("FK edge does not point at the referenced tuple URI")
+	}
+	// The FK column must NOT produce a literal predicate (the paper's
+	// reading of the mapping: referential attributes only produce
+	// reference edges). The "685" literal itself exists legitimately via
+	// the ligand primary-key column.
+	if _, ok := g.FindURI("http://ex.org/v1/interaction#ligand_id"); ok {
+		t.Error("FK column produced a literal predicate")
+	}
+	if _, ok := g.FindLiteral("685"); !ok {
+		t.Error("primary key column should produce a literal triple (W3C)")
+	}
+	// Type triples with the version-prefixed predicate by default.
+	if _, ok := g.FindURI("http://ex.org/v1/rdf-type"); !ok {
+		t.Error("missing version-prefixed type predicate")
+	}
+	// NULL comment of ligand 685 produces no triple: only one comment
+	// literal overall.
+	if _, ok := g.FindLiteral("aka epinephrine"); !ok {
+		t.Error("missing nullable column literal for the row that has it")
+	}
+}
+
+func TestDirectMapPrefixDisjointness(t *testing.T) {
+	db := sampleDB(t)
+	g1, err := DirectMap(db, MappingOptions{Prefix: "http://ex.org/v1/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := DirectMap(db, MappingOptions{Prefix: "http://ex.org/v2/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uris := map[string]bool{}
+	g1.Nodes(func(n rdf.NodeID) {
+		if g1.IsURI(n) {
+			uris[g1.Label(n).Value] = true
+		}
+	})
+	g2.Nodes(func(n rdf.NodeID) {
+		if g2.IsURI(n) && uris[g2.Label(n).Value] {
+			t.Fatalf("URI %s shared across differently-prefixed exports", g2.Label(n).Value)
+		}
+	})
+}
+
+func TestDirectMapW3CTypePredicate(t *testing.T) {
+	db := sampleDB(t)
+	g, err := DirectMap(db, MappingOptions{Prefix: "http://ex.org/v1/", TypePredicate: RDFType})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.FindURI(RDFType); !ok {
+		t.Error("rdf:type predicate missing with W3C option")
+	}
+	g2, err := DirectMap(db, MappingOptions{Prefix: "http://ex.org/v1/", SkipTypeTriples: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g2.FindURI("http://ex.org/v1/ligand"); ok {
+		t.Error("table class URI present despite SkipTypeTriples")
+	}
+}
+
+func TestDirectMapKeylessTableBlanks(t *testing.T) {
+	db := NewDatabase()
+	if err := db.CreateTable(Schema{
+		Name:    "log",
+		Columns: []Column{{Name: "msg", Type: Text}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("log", map[string]Value{"msg": TextValue("hello")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("log", map[string]Value{"msg": TextValue("world")}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := DirectMap(db, MappingOptions{Prefix: "http://ex.org/v1/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumBlanks() != 2 {
+		t.Errorf("keyless table rows should be blank nodes; blanks = %d", g.NumBlanks())
+	}
+}
+
+func TestDirectMapNoPrefix(t *testing.T) {
+	if _, err := DirectMap(NewDatabase(), MappingOptions{}); err == nil {
+		t.Error("missing prefix accepted")
+	}
+}
+
+func TestRowURIEncoding(t *testing.T) {
+	s := Schema{
+		Name:    "odd table",
+		Columns: []Column{{Name: "k", Type: Text}},
+		Key:     []string{"k"},
+	}
+	uri := RowURI("http://ex.org/", s, Row{TextValue("a b/c;d=e")})
+	if strings.ContainsAny(uri[len("http://ex.org/"):], " ;=/") {
+		// the structural separators we emit ourselves are fine; the
+		// encoded value must not add new ones
+		parts := strings.SplitN(uri, "/k=", 2)
+		if len(parts) != 2 || strings.ContainsAny(parts[1], " ;=/") {
+			t.Errorf("RowURI did not encode separators: %s", uri)
+		}
+	}
+	if uri != "http://ex.org/odd%20table/k=a%20b%2Fc%3Bd%3De" {
+		t.Errorf("RowURI = %s", uri)
+	}
+}
+
+func TestValueLexical(t *testing.T) {
+	if IntValue(-3).Lexical() != "-3" {
+		t.Error("int lexical")
+	}
+	if FloatValue(2.5).Lexical() != "2.5" {
+		t.Error("float lexical")
+	}
+	if BoolValue(true).Lexical() != "true" {
+		t.Error("bool lexical")
+	}
+	if TextValue("x").Lexical() != "x" {
+		t.Error("text lexical")
+	}
+	if !NullValue(Int).IsNull() {
+		t.Error("null detection")
+	}
+	if !IntValue(3).Equal(IntValue(3)) || IntValue(3).Equal(IntValue(4)) || IntValue(3).Equal(TextValue("3")) {
+		t.Error("Equal semantics")
+	}
+	if !NullValue(Int).Equal(NullValue(Int)) {
+		t.Error("NULLs of the same type are equal")
+	}
+}

@@ -1,0 +1,146 @@
+package similarity
+
+import (
+	"rdfalign/internal/core"
+	"rdfalign/internal/rdf"
+)
+
+// Enrich incorporates the newly discovered close pairs H into the weighted
+// partition ξ (§4.4). H is decomposed into connected components; every
+// component becomes a fresh cluster, and each member receives a weight
+// consistent with the distances in H: for a source node, half the maximum
+// ⊕-shortest-path distance to any target node of the component, and
+// symmetrically for target nodes — so that d*(a, b) ≤ w(a) ⊕ w(b) holds for
+// every source/target pair of the component.
+//
+// Only nodes incident to an edge of H participate (isolated nodes are
+// removed from consideration, as the paper assumes). The input ξ is not
+// modified.
+func Enrich(xi *core.Weighted, h *WeightedBipartite) *core.Weighted {
+	if !h.HasEdges() {
+		return xi.Clone()
+	}
+	out := xi.Clone()
+
+	// Union-find over the nodes incident to H's edges.
+	parent := make(map[rdf.NodeID]rdf.NodeID)
+	var find func(rdf.NodeID) rdf.NodeID
+	find = func(x rdf.NodeID) rdf.NodeID {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p == x {
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(x, y rdf.NodeID) {
+		rx, ry := find(x), find(y)
+		if rx != ry {
+			parent[rx] = ry
+		}
+	}
+	for _, e := range h.Edges {
+		union(e.A, e.B)
+	}
+
+	// Group members and edges per component root.
+	members := make(map[rdf.NodeID][]rdf.NodeID)
+	compEdges := make(map[rdf.NodeID][]BipartiteEdge)
+	for n := range parent {
+		r := find(n)
+		members[r] = append(members[r], n)
+	}
+	for _, e := range h.Edges {
+		r := find(e.A)
+		compEdges[r] = append(compEdges[r], e)
+	}
+
+	// Deterministic component order.
+	roots := make([]rdf.NodeID, 0, len(members))
+	for r := range members {
+		roots = append(roots, r)
+	}
+	core.SortNodeIDs(roots)
+
+	aSide := make(map[rdf.NodeID]bool, len(h.A))
+	for _, n := range h.A {
+		aSide[n] = true
+	}
+	for _, r := range roots {
+		comp := members[r]
+		core.SortNodeIDs(comp)
+		dstar := shortestPaths(comp, compEdges[r])
+		color := xi.P.Interner().Fresh()
+		for _, n := range comp {
+			out.P.SetColor(n, color)
+			out.W[n] = halfMaxOpposite(n, comp, dstar, aSide)
+		}
+	}
+	return out
+}
+
+// shortestPaths computes all-pairs ⊕-shortest-path distances within one
+// component of H (viewed as an undirected graph), via Dijkstra from every
+// member. Components are near-1-to-1 in practice, so this stays cheap.
+func shortestPaths(comp []rdf.NodeID, edges []BipartiteEdge) map[[2]rdf.NodeID]float64 {
+	adj := make(map[rdf.NodeID][]BipartiteEdge, len(comp))
+	for _, e := range edges {
+		adj[e.A] = append(adj[e.A], e)
+		adj[e.B] = append(adj[e.B], BipartiteEdge{A: e.B, B: e.A, D: e.D})
+	}
+	dist := make(map[[2]rdf.NodeID]float64, len(comp)*len(comp))
+	for _, src := range comp {
+		// Dijkstra with ⊕ accumulation (non-negative, capped at 1).
+		d := map[rdf.NodeID]float64{src: 0}
+		done := map[rdf.NodeID]bool{}
+		for {
+			// Extract min.
+			best := rdf.NodeID(-1)
+			bestD := 2.0
+			for n, dn := range d {
+				if !done[n] && dn < bestD {
+					best, bestD = n, dn
+				}
+			}
+			if best == -1 {
+				break
+			}
+			done[best] = true
+			for _, e := range adj[best] {
+				nd := core.OPlus(bestD, e.D)
+				if cur, ok := d[e.B]; !ok || nd < cur {
+					d[e.B] = nd
+				}
+			}
+		}
+		for _, dst := range comp {
+			if dn, ok := d[dst]; ok {
+				dist[[2]rdf.NodeID{src, dst}] = dn
+			} else {
+				dist[[2]rdf.NodeID{src, dst}] = 1 // unreachable (cannot happen within a component)
+			}
+		}
+	}
+	return dist
+}
+
+// halfMaxOpposite returns half the maximum d* distance from n to any
+// opposite-side member of its component.
+func halfMaxOpposite(n rdf.NodeID, comp []rdf.NodeID, dstar map[[2]rdf.NodeID]float64, aSide map[rdf.NodeID]bool) float64 {
+	isSource := aSide[n]
+	maxD := 0.0
+	for _, m := range comp {
+		if aSide[m] == isSource {
+			continue
+		}
+		if d := dstar[[2]rdf.NodeID{n, m}]; d > maxD {
+			maxD = d
+		}
+	}
+	return maxD / 2
+}

@@ -1,0 +1,263 @@
+package similarity
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"unicode"
+
+	"rdfalign/internal/core"
+	"rdfalign/internal/rdf"
+	"rdfalign/internal/strdist"
+)
+
+// OverlapOptions configures the overlap alignment (Algorithm 2).
+type OverlapOptions struct {
+	// Theta is the similarity threshold θ ∈ [0, 1]; the paper's
+	// evaluation default is 0.65 (Figure 15's precision peak).
+	Theta float64
+	// Epsilon is the weight stabilisation threshold for propagation.
+	Epsilon float64
+	// MaxRounds caps the enrich/propagate loop; Algorithm 2 terminates
+	// because every round with a non-empty H strictly shrinks the
+	// unaligned sets, so the cap only guards against bugs. Default 1000.
+	MaxRounds int
+}
+
+// DefaultTheta is the threshold used throughout the paper's evaluation.
+const DefaultTheta = 0.65
+
+// OverlapResult is the weighted partition ξOverlap produced by Algorithm 2,
+// with per-round diagnostics.
+type OverlapResult struct {
+	Xi     *core.Weighted
+	Theta  float64
+	Rounds int
+	// LiteralPairs is the number of close literal pairs discovered by the
+	// initial literal OverlapMatch; NonLiteralPairs accumulates the pairs
+	// discovered by the per-round non-literal matches.
+	LiteralPairs    int
+	NonLiteralPairs int
+}
+
+// Alignment wraps the result as Align_θ(ξOverlap).
+func (r *OverlapResult) Alignment(c *rdf.Combined) *core.Alignment {
+	return core.NewWeightedAlignment(c, r.Xi, r.Theta)
+}
+
+// OverlapAlign runs Algorithm 2 (§4.7) on a combined graph, starting from
+// the given hybrid partition:
+//
+//	ξ0 := (λHybrid, 0)
+//	H0 := OverlapMatch(unaligned literals, θ, split, σLiterals)
+//	repeat: ξi := Propagate(Enrich(ξi−1, Hi−1))
+//	        Hi := OverlapMatch(unaligned non-literals, θ, out-color, σNL)
+//	until Hi has no edges
+func OverlapAlign(c *rdf.Combined, hybrid *core.Partition, opt OverlapOptions) (*OverlapResult, error) {
+	if opt.Theta <= 0 || opt.Theta > 1 {
+		if opt.Theta == 0 {
+			opt.Theta = DefaultTheta
+		} else {
+			return nil, fmt.Errorf("similarity: theta %v outside (0, 1]", opt.Theta)
+		}
+	}
+	if opt.MaxRounds <= 0 {
+		opt.MaxRounds = 1000
+	}
+	res := &OverlapResult{Theta: opt.Theta}
+
+	xi := core.NewWeighted(hybrid.Clone())
+	// Lines 2–4: initial literal matching.
+	a0, b0 := unalignedLiterals(c, xi.P)
+	h := OverlapMatch(a0, b0, opt.Theta, func(n rdf.NodeID) []string {
+		return Split(c.Label(n).Value)
+	}, func(n, m rdf.NodeID) (float64, bool) {
+		return strdist.WithinThreshold(c.Label(n).Value, c.Label(m).Value, opt.Theta)
+	})
+	res.LiteralPairs = len(h.Edges)
+
+	// Lines 5–12.
+	for {
+		res.Rounds++
+		if res.Rounds > opt.MaxRounds {
+			return nil, fmt.Errorf("similarity: overlap alignment did not terminate after %d rounds", opt.MaxRounds)
+		}
+		next, _ := core.Propagate(c, Enrich(xi, h), opt.Epsilon)
+		xi = next
+		ai, bi := unalignedNonLiteralsBySide(c, xi.P)
+		h = matchNonLiterals(c, xi, ai, bi, opt.Theta)
+		res.NonLiteralPairs += len(h.Edges)
+		if !h.HasEdges() {
+			break
+		}
+	}
+	res.Xi = xi
+	return res, nil
+}
+
+// Split is the literal characterisation function of §4.7: the label is
+// split into its set of words (maximal runs of letters and digits).
+func Split(s string) []string {
+	return strings.FieldsFunc(s, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// unalignedLiterals returns the unaligned literal nodes of each side
+// (Algorithm 2 lines 2–3).
+func unalignedLiterals(c *rdf.Combined, p *core.Partition) (a, b []rdf.NodeID) {
+	un1, un2 := core.Unaligned(c, p)
+	for _, n := range un1 {
+		if c.IsLiteral(n) {
+			a = append(a, n)
+		}
+	}
+	for _, n := range un2 {
+		if c.IsLiteral(n) {
+			b = append(b, n)
+		}
+	}
+	return a, b
+}
+
+// unalignedNonLiteralsBySide returns the unaligned non-literal nodes of
+// each side (Algorithm 2 lines 9–10).
+func unalignedNonLiteralsBySide(c *rdf.Combined, p *core.Partition) (a, b []rdf.NodeID) {
+	un1, un2 := core.Unaligned(c, p)
+	for _, n := range un1 {
+		if !c.IsLiteral(n) {
+			a = append(a, n)
+		}
+	}
+	for _, n := range un2 {
+		if !c.IsLiteral(n) {
+			b = append(b, n)
+		}
+	}
+	return a, b
+}
+
+// outColorKey encodes an out-color pair (λ(p), λ(o)) as a single comparable
+// key for the inverted index.
+func outColorKey(p, o core.Color) uint64 {
+	return uint64(uint32(p))<<32 | uint64(uint32(o))
+}
+
+// OutColors returns out-color_ξ(n) = {(λ(p), λ(o)) | (p,o) ∈ out(n)} as
+// encoded keys (§4.7), deduplicated.
+func OutColors(c *rdf.Combined, p *core.Partition, n rdf.NodeID) []uint64 {
+	out := c.Out(n)
+	keys := make([]uint64, 0, len(out))
+	for _, e := range out {
+		keys = append(keys, outColorKey(p.Color(e.P), p.Color(e.O)))
+	}
+	return dedup(keys)
+}
+
+// matchNonLiterals runs OverlapMatch over unaligned non-literal nodes with
+// the out-color characterisation and the σNL distance.
+func matchNonLiterals(c *rdf.Combined, xi *core.Weighted, a, b []rdf.NodeID, theta float64) *WeightedBipartite {
+	return OverlapMatch(a, b, theta, func(n rdf.NodeID) []uint64 {
+		return OutColors(c, xi.P, n)
+	}, func(n, m rdf.NodeID) (float64, bool) {
+		d := NLDistance(c, xi, n, m)
+		return d, d < theta
+	})
+}
+
+// nlEdge is one outbound edge annotated with its color key and weight for
+// the rank-wise coupling of σNL.
+type nlEdge struct {
+	key uint64
+	w   float64
+}
+
+// NLDistance is the non-literal distance σNL_ξ of §4.7. The outgoing edges
+// of n and m are coupled color-by-color: edges sharing an out-color are
+// paired rank-wise after sorting by their weight ω(p) ⊕ ω(o); a coupled
+// pair costs σξ(p1,p2) ⊕ σξ(o1,o2) — which, because coupled nodes share
+// colors, reduces to (ω(p1) ⊕ ω(p2)) ⊕ (ω(o1) ⊕ ω(o2)) — and the R edges
+// left uncoupled cost 1 each. The total is ⊕-accumulated with each term
+// divided by f = max(|out-color(n)|, |out-color(m)|):
+//
+//	⊕ { (σξ(p1,p2) ⊕ σξ(o1,o2)) / f | coupled } ⊕ R/f
+//
+// As the paper notes, no Hungarian algorithm is needed: grouping by color
+// plus weight-rank coupling realises the optimal same-color matching.
+func NLDistance(c *rdf.Combined, xi *core.Weighted, n, m rdf.NodeID) float64 {
+	en := nlEdges(c, xi, n)
+	em := nlEdges(c, xi, m)
+	fn := distinctKeys(en)
+	fm := distinctKeys(em)
+	f := fn
+	if fm > f {
+		f = fm
+	}
+	if f == 0 {
+		// Both nodes have no outgoing edges: indistinguishable.
+		return 0
+	}
+	ff := float64(f)
+	acc := 0.0
+	uncoupled := 0
+	i, j := 0, 0
+	for i < len(en) || j < len(em) {
+		switch {
+		case j >= len(em) || (i < len(en) && en[i].key < em[j].key):
+			uncoupled++
+			i++
+		case i >= len(en) || em[j].key < en[i].key:
+			uncoupled++
+			j++
+		default:
+			// Same color: couple rank-wise through the runs.
+			key := en[i].key
+			si, sj := i, j
+			for i < len(en) && en[i].key == key {
+				i++
+			}
+			for j < len(em) && em[j].key == key {
+				j++
+			}
+			runN := en[si:i]
+			runM := em[sj:j]
+			k := 0
+			for ; k < len(runN) && k < len(runM); k++ {
+				acc = core.OPlus(acc, core.OPlus(runN[k].w, runM[k].w)/ff)
+			}
+			uncoupled += (len(runN) - k) + (len(runM) - k)
+		}
+	}
+	return core.OPlus(acc, float64(uncoupled)/ff)
+}
+
+// nlEdges collects n's outbound edges as (color key, weight) sorted by key
+// and then by weight — the "list of outgoing edges with the same colors
+// ordered by their weight".
+func nlEdges(c *rdf.Combined, xi *core.Weighted, n rdf.NodeID) []nlEdge {
+	out := c.Out(n)
+	edges := make([]nlEdge, 0, len(out))
+	for _, e := range out {
+		edges = append(edges, nlEdge{
+			key: outColorKey(xi.P.Color(e.P), xi.P.Color(e.O)),
+			w:   core.OPlus(xi.W[e.P], xi.W[e.O]),
+		})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].key != edges[j].key {
+			return edges[i].key < edges[j].key
+		}
+		return edges[i].w < edges[j].w
+	})
+	return edges
+}
+
+func distinctKeys(edges []nlEdge) int {
+	n := 0
+	for i, e := range edges {
+		if i == 0 || e.key != edges[i-1].key {
+			n++
+		}
+	}
+	return n
+}

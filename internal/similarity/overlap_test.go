@@ -1,0 +1,559 @@
+package similarity
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"rdfalign/internal/core"
+	"rdfalign/internal/rdf"
+	"rdfalign/internal/strdist"
+)
+
+func TestOverlapAndDiffMeasures(t *testing.T) {
+	if Overlap([]string{}, []string{}) != 1 {
+		t.Error("overlap(∅, ∅) = 1 by convention")
+	}
+	if Diff([]string{}, []string{}) != 0 {
+		t.Error("diff(∅, ∅) = 0 by convention")
+	}
+	if got := Overlap([]string{"a", "b"}, []string{"b", "c"}); got != 1.0/3.0 {
+		t.Errorf("overlap = %v, want 1/3", got)
+	}
+	if got := Overlap([]string{"a", "a", "b"}, []string{"b", "a"}); got != 1 {
+		t.Errorf("overlap with duplicates = %v, want 1 (set semantics)", got)
+	}
+	if Overlap([]string{"x"}, []string{}) != 0 {
+		t.Error("overlap against empty non-empty = 0")
+	}
+}
+
+func TestOverlapDiffComplementProperty(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		o := Overlap(a, b)
+		d := Diff(a, b)
+		return o >= 0 && o <= 1 && math.Abs(o+d-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	got := Split("Experimental Factor Ontology, v2.34 (EFO)")
+	want := []string{"Experimental", "Factor", "Ontology", "v2", "34", "EFO"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Split = %v, want %v", got, want)
+	}
+	if len(Split("...!!!")) != 0 {
+		t.Error("Split of punctuation should be empty")
+	}
+}
+
+func TestPrefixLenLossless(t *testing.T) {
+	// For every k and θ, the prefix must be large enough that any
+	// candidate with overlap ≥ θ shares an object within the prefix:
+	// prefix > (1−θ)·k, i.e. prefix ≥ ⌊(1−θ)k⌋+1; and it must scan at
+	// least the paper's ⌈kθ⌉ objects (for θ ≥ 0.5 faithfulness).
+	for k := 1; k <= 40; k++ {
+		for _, theta := range []float64{0.05, 0.35, 0.5, 0.65, 0.8, 0.95, 1.0} {
+			p := prefixLen(k, theta)
+			if p > k || p < 1 {
+				t.Fatalf("prefixLen(%d, %v) = %d out of range", k, theta, p)
+			}
+			if float64(p) <= (1-theta)*float64(k) {
+				t.Errorf("prefixLen(%d, %v) = %d is lossy", k, theta, p)
+			}
+			if paper := int(math.Ceil(float64(k) * theta)); p < paper && paper <= k {
+				t.Errorf("prefixLen(%d, %v) = %d below the paper's ⌈kθ⌉ = %d", k, theta, p, paper)
+			}
+		}
+	}
+}
+
+// wordGraphPair builds two single-node-per-literal graphs whose literal
+// labels are the given strings; used to drive OverlapMatch through real
+// node IDs.
+func literalNodes(t testing.TB, labels1, labels2 []string) (*rdf.Combined, []rdf.NodeID, []rdf.NodeID) {
+	t.Helper()
+	b1 := rdf.NewBuilder("om-g1")
+	s1 := b1.URI("root1")
+	var n1 []rdf.NodeID
+	for _, l := range labels1 {
+		n := b1.Literal(l)
+		b1.TripleURI(s1, "p", n)
+		n1 = append(n1, n)
+	}
+	g1, err := b1.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := rdf.NewBuilder("om-g2")
+	s2 := b2.URI("root2")
+	var n2 []rdf.NodeID
+	for _, l := range labels2 {
+		n := b2.Literal(l)
+		b2.TripleURI(s2, "p", n)
+		n2 = append(n2, n)
+	}
+	g2, err := b2.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rdf.Union(g1, g2)
+	a := make([]rdf.NodeID, len(n1))
+	for i, n := range n1 {
+		a[i] = c.FromSource(n)
+	}
+	b := make([]rdf.NodeID, len(n2))
+	for i, n := range n2 {
+		b[i] = c.FromTarget(n)
+	}
+	return c, a, b
+}
+
+func TestOverlapMatchFindsEditedLiterals(t *testing.T) {
+	c, a, b := literalNodes(t,
+		[]string{"experimental factor ontology", "guide to pharmacology", "unrelated thing"},
+		[]string{"experimental factor ontologies", "the guide to pharmacology", "different altogether"},
+	)
+	theta := 0.5
+	h := OverlapMatch(a, b, theta,
+		func(n rdf.NodeID) []string { return Split(c.Label(n).Value) },
+		func(n, m rdf.NodeID) (float64, bool) {
+			return strdist.WithinThreshold(c.Label(n).Value, c.Label(m).Value, theta)
+		})
+	if len(h.Edges) != 2 {
+		t.Fatalf("expected 2 matched pairs, got %d: %+v", len(h.Edges), h.Edges)
+	}
+	for _, e := range h.Edges {
+		if e.D >= theta {
+			t.Errorf("edge distance %v ≥ θ", e.D)
+		}
+		v1 := c.Label(e.A).Value
+		v2 := c.Label(e.B).Value
+		if !(v1 == "experimental factor ontology" && v2 == "experimental factor ontologies") &&
+			!(v1 == "guide to pharmacology" && v2 == "the guide to pharmacology") {
+			t.Errorf("unexpected pair %q ↔ %q", v1, v2)
+		}
+	}
+}
+
+// TestOverlapMatchLossless compares the heuristic against the brute-force
+// all-pairs filter on random word sets: the prefix filter must not lose any
+// pair with overlap ≥ θ and σ < θ.
+func TestOverlapMatchLossless(t *testing.T) {
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func(n int) []string {
+			out := make([]string, n)
+			for i := range out {
+				k := 1 + r.Intn(4)
+				s := ""
+				for j := 0; j < k; j++ {
+					if j > 0 {
+						s += " "
+					}
+					s += words[r.Intn(len(words))]
+				}
+				out[i] = s
+			}
+			return out
+		}
+		l1 := mk(1 + r.Intn(6))
+		l2 := mk(1 + r.Intn(6))
+		// Deduplicate labels (literal nodes are unique per graph).
+		l1 = dedup(l1)
+		l2 = dedup(l2)
+		theta := []float64{0.35, 0.5, 0.65, 0.8}[r.Intn(4)]
+		c, a, b := literalNodes(t, l1, l2)
+		char := func(n rdf.NodeID) []string { return Split(c.Label(n).Value) }
+		dist := func(n, m rdf.NodeID) (float64, bool) {
+			return strdist.WithinThreshold(c.Label(n).Value, c.Label(m).Value, theta)
+		}
+		h := OverlapMatch(a, b, theta, char, dist)
+		got := map[[2]rdf.NodeID]bool{}
+		for _, e := range h.Edges {
+			got[[2]rdf.NodeID{e.A, e.B}] = true
+		}
+		// Brute force.
+		want := map[[2]rdf.NodeID]bool{}
+		for _, n := range a {
+			for _, m := range b {
+				if Overlap(char(n), char(m)) < theta {
+					continue
+				}
+				if _, ok := dist(n, m); ok {
+					want[[2]rdf.NodeID{n, m}] = true
+				}
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Logf("seed %d θ=%v: got %v want %v (labels %v | %v)", seed, theta, got, want, l1, l2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlapMatchEmptyInputs(t *testing.T) {
+	h := OverlapMatch(nil, nil, 0.5,
+		func(rdf.NodeID) []string { return nil },
+		func(rdf.NodeID, rdf.NodeID) (float64, bool) { return 0, true })
+	if h.HasEdges() {
+		t.Error("empty inputs must produce no edges")
+	}
+}
+
+func TestEnrichSinglePair(t *testing.T) {
+	c, a, b := literalNodes(t, []string{"abc"}, []string{"abz"})
+	in := core.NewInterner()
+	hp, _ := core.HybridPartition(c, in)
+	xi := core.NewWeighted(hp)
+	h := &WeightedBipartite{A: a, B: b, Edges: []BipartiteEdge{{A: a[0], B: b[0], D: 1.0 / 3.0}}}
+	out := Enrich(xi, h)
+	if out.P.Color(a[0]) != out.P.Color(b[0]) {
+		t.Fatal("enriched pair should share a cluster")
+	}
+	if math.Abs(out.W[a[0]]-1.0/6.0) > 1e-12 || math.Abs(out.W[b[0]]-1.0/6.0) > 1e-12 {
+		t.Errorf("weights = %v, %v; want 1/6 each (half the distance)", out.W[a[0]], out.W[b[0]])
+	}
+	// σ_ξ(a,b) = 1/6 ⊕ 1/6 = 1/3 recovers the discovered distance.
+	if d := out.Distance(a[0], b[0]); math.Abs(d-1.0/3.0) > 1e-12 {
+		t.Errorf("induced distance = %v, want 1/3", d)
+	}
+	// Input unchanged.
+	if xi.P.Color(a[0]) == xi.P.Color(b[0]) {
+		t.Error("Enrich must not mutate its input")
+	}
+}
+
+func TestEnrichComponentWeightsCoverDistances(t *testing.T) {
+	// A chain component a1–b1–a2–b2 exercises the ⊕-shortest-path d* and
+	// the half-max weight rule: d*(a,b) ≤ w(a) ⊕ w(b) for all pairs.
+	c, a, b := literalNodes(t, []string{"x1", "x2"}, []string{"y1", "y2"})
+	in := core.NewInterner()
+	hp, _ := core.HybridPartition(c, in)
+	xi := core.NewWeighted(hp)
+	h := &WeightedBipartite{A: a, B: b, Edges: []BipartiteEdge{
+		{A: a[0], B: b[0], D: 0.2},
+		{A: a[1], B: b[0], D: 0.1},
+		{A: a[1], B: b[1], D: 0.3},
+	}}
+	out := Enrich(xi, h)
+	col := out.P.Color(a[0])
+	for _, n := range []rdf.NodeID{a[1], b[0], b[1]} {
+		if out.P.Color(n) != col {
+			t.Fatal("all chain members should share one cluster")
+		}
+	}
+	// d* distances: a1–b1 = .2, a1–b2 = .2⊕.1⊕.3 = .6, a2–b1 = .1, a2–b2 = .3.
+	dstar := map[[2]int]float64{
+		{0, 0}: 0.2, {0, 1}: 0.6,
+		{1, 0}: 0.1, {1, 1}: 0.3,
+	}
+	for ij, want := range dstar {
+		got := out.W[a[ij[0]]] + out.W[b[ij[1]]]
+		if got+1e-12 < want {
+			t.Errorf("w(a%d)+w(b%d) = %v < d* = %v", ij[0], ij[1], got, want)
+		}
+	}
+	// Exact weights: w(a1) = max(.2,.6)/2 = .3, w(a2) = max(.1,.3)/2 = .15,
+	// w(b1) = max(.2,.1)/2 = .1, w(b2) = max(.6,.3)/2 = .3.
+	wantW := []struct {
+		n rdf.NodeID
+		w float64
+	}{{a[0], 0.3}, {a[1], 0.15}, {b[0], 0.1}, {b[1], 0.3}}
+	for _, c2 := range wantW {
+		if math.Abs(out.W[c2.n]-c2.w) > 1e-12 {
+			t.Errorf("w(%d) = %v, want %v", c2.n, out.W[c2.n], c2.w)
+		}
+	}
+}
+
+func TestEnrichSeparateComponents(t *testing.T) {
+	c, a, b := literalNodes(t, []string{"x1", "x2"}, []string{"y1", "y2"})
+	in := core.NewInterner()
+	hp, _ := core.HybridPartition(c, in)
+	xi := core.NewWeighted(hp)
+	h := &WeightedBipartite{A: a, B: b, Edges: []BipartiteEdge{
+		{A: a[0], B: b[0], D: 0.2},
+		{A: a[1], B: b[1], D: 0.4},
+	}}
+	out := Enrich(xi, h)
+	if out.P.Color(a[0]) == out.P.Color(a[1]) {
+		t.Error("separate components must get distinct clusters")
+	}
+	if out.P.Color(a[0]) != out.P.Color(b[0]) || out.P.Color(a[1]) != out.P.Color(b[1]) {
+		t.Error("component members must share their cluster")
+	}
+}
+
+func TestEnrichEmptyH(t *testing.T) {
+	c, a, b := literalNodes(t, []string{"x"}, []string{"y"})
+	in := core.NewInterner()
+	hp, _ := core.HybridPartition(c, in)
+	xi := core.NewWeighted(hp)
+	out := Enrich(xi, &WeightedBipartite{A: a, B: b})
+	if !core.Equivalent(out.P, xi.P) {
+		t.Error("enriching with an empty H must be the identity")
+	}
+}
+
+func TestNLDistanceHandComputed(t *testing.T) {
+	// u (3 edges) vs u' (2 edges) from the wordy Figure 7 after the
+	// literal enrichment: coupled (p,alpha) and (p,gamma) at weight 0,
+	// uncoupled (p,beta): σNL = (0 + 0 + 1)/3 = 1/3.
+	g1, g2 := figure7Wordy(t)
+	c, hp := combine(t, g1, g2)
+	xi := core.NewWeighted(hp)
+	u := srcNode(t, c, "u")
+	u2 := tgtNode(t, c, "u'")
+	if d := NLDistance(c, xi, u, u2); math.Abs(d-1.0/3.0) > 1e-12 {
+		t.Errorf("σNL(u, u') = %v, want 1/3", d)
+	}
+	// Nodes with no outgoing edges are indistinguishable: distance 0.
+	p1 := srcNode(t, c, "p")
+	p2 := tgtNode(t, c, "p")
+	if d := NLDistance(c, xi, p1, p2); d != 0 {
+		t.Errorf("σNL of two sink predicates = %v, want 0", d)
+	}
+	// Sink vs non-sink: everything uncoupled → 1.
+	if d := NLDistance(c, xi, p1, u2); d != 1 {
+		t.Errorf("σNL(sink, u') = %v, want 1", d)
+	}
+}
+
+// TestOverlapAlignFigure7Cascade runs the full Algorithm 2 on the wordy
+// Figure 7 variant and checks the cascade: the edited literal matches
+// first, propagation aligns v/v′, the non-literal overlap round aligns
+// u/u′, and a further propagation aligns w/w′.
+func TestOverlapAlignFigure7Cascade(t *testing.T) {
+	g1, g2 := figure7Wordy(t)
+	c, hp := combine(t, g1, g2)
+	res, err := OverlapAlign(c, hp, OverlapOptions{Theta: 0.65})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LiteralPairs != 1 {
+		t.Errorf("literal pairs = %d, want 1 (the edited label)", res.LiteralPairs)
+	}
+	if res.NonLiteralPairs < 1 {
+		t.Errorf("non-literal pairs = %d, want ≥ 1 (u/u')", res.NonLiteralPairs)
+	}
+	xi := res.Xi
+	pairs := [][2]rdf.NodeID{
+		{srcLit(t, c, "alpha beta gamma"), tgtLit(t, c, "alpha gamma")},
+		{srcNode(t, c, "v"), tgtNode(t, c, "v'")},
+		{srcNode(t, c, "u"), tgtNode(t, c, "u'")},
+		{srcNode(t, c, "w"), tgtNode(t, c, "w'")},
+	}
+	for _, pr := range pairs {
+		if xi.P.Color(pr[0]) != xi.P.Color(pr[1]) {
+			t.Errorf("overlap should cluster %s with %s",
+				c.Label(pr[0]), c.Label(pr[1]))
+		}
+		if d := xi.Distance(pr[0], pr[1]); d >= res.Theta {
+			t.Errorf("induced distance for %s/%s = %v, want < θ",
+				c.Label(pr[0]), c.Label(pr[1]), d)
+		}
+	}
+	// Distinct entities must stay apart.
+	if xi.P.Color(srcNode(t, c, "u")) == xi.P.Color(tgtNode(t, c, "v'")) {
+		t.Error("u and v' must not share a cluster")
+	}
+}
+
+// TestTheorem1 validates the soundness theorem on the wordy Figure 7 and on
+// random graphs: every pair the overlap alignment clusters together
+// satisfies σEdit(n, m) ≤ ω(n) ⊕ ω(m). (The paper states the bound with a
+// product; ⊕ is the weaker, construction-consistent combination — see
+// DESIGN.md.)
+func TestTheorem1(t *testing.T) {
+	check := func(t *testing.T, c *rdf.Combined, hp *core.Partition) {
+		t.Helper()
+		res, err := OverlapAlign(c, hp, OverlapOptions{Theta: 0.65})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSigmaEdit(c, hp, SigmaEditOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		xi := res.Xi
+		for i := 0; i < c.N1; i++ {
+			for j := c.N1; j < c.N1+c.N2; j++ {
+				n, m := rdf.NodeID(i), rdf.NodeID(j)
+				if xi.P.Color(n) != xi.P.Color(m) {
+					continue
+				}
+				bound := core.OPlus(xi.W[n], xi.W[m])
+				if got := s.Distance(n, m); got > bound+1e-9 {
+					t.Errorf("Theorem 1 violated at (%s, %s): σEdit = %v > ω⊕ω = %v",
+						c.Label(n), c.Label(m), got, bound)
+				}
+			}
+		}
+	}
+	t.Run("figure7", func(t *testing.T) {
+		g1, g2 := figure7Wordy(t)
+		c, hp := combine(t, g1, g2)
+		check(t, c, hp)
+	})
+	t.Run("random", func(t *testing.T) {
+		for seed := int64(0); seed < 20; seed++ {
+			r := rand.New(rand.NewSource(seed))
+			c := randomCombined(r)
+			in := core.NewInterner()
+			hp, _ := core.HybridPartition(c, in)
+			check(t, c, hp)
+		}
+	})
+}
+
+// TestOverlapAlignSubsumesHybrid: the overlap alignment only adds pairs on
+// top of the hybrid alignment (it starts from ξ0 = (λHybrid, 0) and only
+// enriches unaligned nodes).
+func TestOverlapAlignSubsumesHybrid(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomCombined(r)
+		in := core.NewInterner()
+		hp, _ := core.HybridPartition(c, in)
+		res, err := OverlapAlign(c, hp, OverlapOptions{Theta: 0.65})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < c.N1; i++ {
+			for j := c.N1; j < c.N1+c.N2; j++ {
+				n, m := rdf.NodeID(i), rdf.NodeID(j)
+				if hp.Color(n) == hp.Color(m) && res.Xi.P.Color(n) != res.Xi.P.Color(m) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlapAlignBadTheta(t *testing.T) {
+	g1, g2 := figure7Wordy(t)
+	c, hp := combine(t, g1, g2)
+	if _, err := OverlapAlign(c, hp, OverlapOptions{Theta: 1.5}); err == nil {
+		t.Error("θ > 1 must be rejected")
+	}
+	if _, err := OverlapAlign(c, hp, OverlapOptions{Theta: -0.1}); err == nil {
+		t.Error("θ < 0 must be rejected")
+	}
+}
+
+func TestOverlapAlignDefaultTheta(t *testing.T) {
+	g1, g2 := figure7Wordy(t)
+	c, hp := combine(t, g1, g2)
+	res, err := OverlapAlign(c, hp, OverlapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Theta != DefaultTheta {
+		t.Errorf("default θ = %v, want %v", res.Theta, DefaultTheta)
+	}
+}
+
+func TestOverlapAlignMaxRoundsGuard(t *testing.T) {
+	// The wordy Figure 7 cascade needs at least two enrich/propagate
+	// rounds (literals, then u/u′, then w/w′); capping at one round must
+	// surface as an error instead of silently truncating the alignment.
+	g1, g2 := figure7Wordy(t)
+	c, hp := combine(t, g1, g2)
+	if _, err := OverlapAlign(c, hp, OverlapOptions{Theta: 0.65, MaxRounds: 1}); err == nil {
+		t.Error("MaxRounds guard did not fire on an unfinished cascade")
+	}
+}
+
+func TestOverlapRoundsMonotoneUnaligned(t *testing.T) {
+	// Every round of Algorithm 2 with a non-empty H strictly shrinks the
+	// unaligned sets; verify through the round counter and final state.
+	g1, g2 := figure7Wordy(t)
+	c, hp := combine(t, g1, g2)
+	res, err := OverlapAlign(c, hp, OverlapOptions{Theta: 0.65})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 1 propagates the literal match (aligning v/v′) and discovers
+	// u/u′; round 2 enriches u/u′, propagation aligns w/w′, and the
+	// final match round comes up empty.
+	if res.Rounds != 2 {
+		t.Errorf("cascade rounds = %d, want 2", res.Rounds)
+	}
+	un1, un2 := core.Unaligned(c, res.Xi.P)
+	for _, n := range append(un1, un2...) {
+		if !c.IsLiteral(n) {
+			t.Errorf("node %s should have been aligned by the cascade", c.Label(n))
+		}
+	}
+}
+
+func BenchmarkNLDistance(b *testing.B) {
+	g1, g2 := figure7WordyB(b)
+	c := rdf.Union(g1, g2)
+	in := core.NewInterner()
+	hp, _ := core.HybridPartition(c, in)
+	xi := core.NewWeighted(hp)
+	u := c.FromSource(mustURIb(b, g1, "u"))
+	u2 := c.FromTarget(mustURIb(b, g2, "u'"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NLDistance(c, xi, u, u2)
+	}
+}
+
+func BenchmarkOverlapMatchLiterals(b *testing.B) {
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+	var l1, l2 []string
+	for i := 0; i < 300; i++ {
+		l1 = append(l1, words[i%8]+" "+words[(i/3)%8]+" "+words[(i/7)%8]+" #"+string(rune('a'+i%26)))
+		l2 = append(l2, words[i%8]+" "+words[(i/3)%8]+" "+words[(i/5)%8]+" #"+string(rune('a'+i%26)))
+	}
+	c, aa, bb := literalNodesB(b, l1, l2)
+	theta := 0.65
+	char := func(n rdf.NodeID) []string { return Split(c.Label(n).Value) }
+	dist := func(n, m rdf.NodeID) (float64, bool) {
+		return strdist.WithinThreshold(c.Label(n).Value, c.Label(m).Value, theta)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OverlapMatch(aa, bb, theta, char, dist)
+	}
+}
+
+// Benchmark-flavoured duplicates of the test helpers (testing.B instead of
+// *testing.T).
+func figure7WordyB(b *testing.B) (*rdf.Graph, *rdf.Graph) {
+	b.Helper()
+	return figure7Wordy(b)
+}
+
+func mustURIb(b *testing.B, g *rdf.Graph, uri string) rdf.NodeID {
+	b.Helper()
+	n, ok := g.FindURI(uri)
+	if !ok {
+		b.Fatalf("URI %s not found", uri)
+	}
+	return n
+}
+
+func literalNodesB(b *testing.B, l1, l2 []string) (*rdf.Combined, []rdf.NodeID, []rdf.NodeID) {
+	b.Helper()
+	return literalNodes(b, l1, l2)
+}

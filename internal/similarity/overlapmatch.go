@@ -1,0 +1,170 @@
+package similarity
+
+import (
+	"math"
+	"sort"
+
+	"rdfalign/internal/core"
+	"rdfalign/internal/rdf"
+)
+
+// Overlap returns the overlap similarity of two sets given as element
+// slices (duplicates allowed; set semantics applied): |O1 ∩ O2| / |O1 ∪ O2|,
+// with overlap(∅, ∅) = 1 by convention (§4.6).
+func Overlap[O comparable](o1, o2 []O) float64 {
+	s1 := toSet(o1)
+	s2 := toSet(o2)
+	if len(s1) == 0 && len(s2) == 0 {
+		return 1
+	}
+	inter := 0
+	for o := range s1 {
+		if _, ok := s2[o]; ok {
+			inter++
+		}
+	}
+	union := len(s1) + len(s2) - inter
+	return float64(inter) / float64(union)
+}
+
+// Diff is the distance counterpart 1 − overlap, with diff(∅, ∅) = 0.
+func Diff[O comparable](o1, o2 []O) float64 {
+	return 1 - Overlap(o1, o2)
+}
+
+func toSet[O comparable](os []O) map[O]struct{} {
+	s := make(map[O]struct{}, len(os))
+	for _, o := range os {
+		s[o] = struct{}{}
+	}
+	return s
+}
+
+// BipartiteEdge is one discovered close pair with its distance.
+type BipartiteEdge struct {
+	A, B rdf.NodeID
+	D    float64
+}
+
+// WeightedBipartite is the weighted bipartite graph H = (A, B, M, d) of
+// §4.4 produced by the overlap heuristic: A and B are the candidate node
+// sets, Edges is M with the distance function d attached.
+type WeightedBipartite struct {
+	A, B  []rdf.NodeID
+	Edges []BipartiteEdge
+}
+
+// HasEdges reports whether H contains any discovered pair (the termination
+// condition of Algorithm 2).
+func (h *WeightedBipartite) HasEdges() bool { return len(h.Edges) > 0 }
+
+// DistFunc verifies one candidate pair: it returns the distance and whether
+// the pair passes (d < θ). Implementations may compute lazily and bail out
+// early (cf. strdist.WithinThreshold).
+type DistFunc func(a, b rdf.NodeID) (float64, bool)
+
+// OverlapMatch is Algorithm 1 (§4.6): it discovers close pairs between the
+// disjoint node sets A and B. Every node is characterised by a set of
+// objects (char); an inverted index over B's objects plus frequency-ordered
+// prefix filtering yields candidates sharing a discriminating object;
+// candidates are screened by overlap(char(a), char(b)) ≥ θ and finally
+// verified with the distance function (σ(a, b) < θ).
+//
+// Prefix length: the paper's pseudocode scans the ⌈kθ⌉ least frequent
+// objects of char(a). A prefix of ⌊(1−θ)k⌋+1 objects is what makes the
+// filter lossless (any b with overlap ≥ θ shares an object with every such
+// prefix); the pseudocode's value exceeds it only for θ above ~0.5. We scan
+// max(⌈kθ⌉, ⌊(1−θ)k⌋+1) so the filter is lossless across the full θ sweep
+// of the paper's Figure 15 while scanning at least the paper's prefix.
+//
+// The output is deterministic: edges are sorted by (A, B).
+func OverlapMatch[O comparable](a, b []rdf.NodeID, theta float64, char func(rdf.NodeID) []O, dist DistFunc) *WeightedBipartite {
+	h := &WeightedBipartite{A: a, B: b}
+	if len(a) == 0 || len(b) == 0 {
+		return h
+	}
+	// Lines 1–6: inverted index and frequency counts over B.
+	inv := make(map[O][]rdf.NodeID)
+	charB := make(map[rdf.NodeID][]O, len(b))
+	for _, m := range b {
+		objs := dedup(char(m))
+		charB[m] = objs
+		for _, o := range objs {
+			inv[o] = append(inv[o], m)
+		}
+	}
+	// Lines 9–19.
+	seen := make(map[rdf.NodeID]int) // candidate stamp per a-node iteration
+	stamp := 0
+	for _, n := range a {
+		stamp++
+		objs := dedup(char(n))
+		k := len(objs)
+		if k == 0 {
+			continue
+		}
+		// Line 11: sort char(n) by ascending frequency in the index
+		// (absent objects have frequency 0); ties broken
+		// deterministically by scan position, via stable sort.
+		sort.SliceStable(objs, func(i, j int) bool {
+			return len(inv[objs[i]]) < len(inv[objs[j]])
+		})
+		prefix := prefixLen(k, theta)
+		var cand []rdf.NodeID
+		for i := 0; i < prefix; i++ {
+			for _, m := range inv[objs[i]] {
+				if seen[m] != stamp {
+					seen[m] = stamp
+					cand = append(cand, m)
+				}
+			}
+		}
+		core.SortNodeIDs(cand)
+		// Lines 14–19: overlap screen then distance verification.
+		for _, m := range cand {
+			if Overlap(objs, charB[m]) < theta {
+				continue
+			}
+			if d, ok := dist(n, m); ok {
+				h.Edges = append(h.Edges, BipartiteEdge{A: n, B: m, D: d})
+			}
+		}
+	}
+	sort.Slice(h.Edges, func(i, j int) bool {
+		if h.Edges[i].A != h.Edges[j].A {
+			return h.Edges[i].A < h.Edges[j].A
+		}
+		return h.Edges[i].B < h.Edges[j].B
+	})
+	return h
+}
+
+// prefixLen computes the number of least-frequent characterising objects to
+// scan: max(⌈kθ⌉, ⌊(1−θ)k⌋+1), capped at k.
+func prefixLen(k int, theta float64) int {
+	paper := int(math.Ceil(float64(k) * theta))
+	lossless := int(math.Floor(float64(k)*(1-theta))) + 1
+	p := paper
+	if lossless > p {
+		p = lossless
+	}
+	if p > k {
+		p = k
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+func dedup[O comparable](objs []O) []O {
+	seen := make(map[O]struct{}, len(objs))
+	out := objs[:0:0]
+	for _, o := range objs {
+		if _, ok := seen[o]; !ok {
+			seen[o] = struct{}{}
+			out = append(out, o)
+		}
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package strdist
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinBasics(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"abc", "abc", 0},
+		{"abc", "ac", 1}, // the paper's §4.2 example
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"éé", "ee", 2}, // runes, not bytes
+		{"😀b", "b", 1},
+		{"abc", "cba", 2},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNormalizedPaperExample(t *testing.T) {
+	// "the distance between the nodes "abc" and "ac" is 1/3 because they
+	// differ by the presence of b and the length of both is bounded by 3".
+	if got := Normalized("abc", "ac"); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Errorf("Normalized(abc, ac) = %v, want 1/3", got)
+	}
+	// diff(∅, ∅) = 0 convention.
+	if Normalized("", "") != 0 {
+		t.Error("Normalized of two empty strings must be 0")
+	}
+	if Normalized("", "xy") != 1 {
+		t.Error("Normalized against empty must be 1")
+	}
+}
+
+// naiveLev is the exponential reference implementation for short strings.
+func naiveLev(a, b []rune) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	sub := naiveLev(a[1:], b[1:])
+	if a[0] != b[0] {
+		sub++
+	}
+	del := naiveLev(a[1:], b) + 1
+	ins := naiveLev(a, b[1:]) + 1
+	m := sub
+	if del < m {
+		m = del
+	}
+	if ins < m {
+		m = ins
+	}
+	return m
+}
+
+func randWord(r *rand.Rand, maxLen int) string {
+	n := r.Intn(maxLen + 1)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(byte('a' + r.Intn(4)))
+	}
+	return sb.String()
+}
+
+func TestLevenshteinAgainstNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randWord(r, 7)
+		b := randWord(r, 7)
+		got := Levenshtein(a, b)
+		want := naiveLev([]rune(a), []rune(b))
+		if got != want {
+			t.Logf("Levenshtein(%q,%q) = %d, want %d", a, b, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinMetricAxioms(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randWord(r, 8), randWord(r, 8), randWord(r, 8)
+		dab := Levenshtein(a, b)
+		dba := Levenshtein(b, a)
+		dac := Levenshtein(a, c)
+		dcb := Levenshtein(c, b)
+		if dab != dba {
+			return false // symmetry
+		}
+		if (dab == 0) != (a == b) {
+			return false // identity of indiscernibles
+		}
+		return dab <= dac+dcb // triangle inequality
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizedBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randWord(r, 10), randWord(r, 10)
+		d := Normalized(a, b)
+		return d >= 0 && d <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithinThresholdAgreesWithNormalized(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randWord(r, 10), randWord(r, 10)
+		theta := float64(r.Intn(11)) / 10.0
+		if theta == 0 {
+			theta = 0.05
+		}
+		want := Normalized(a, b)
+		got, ok := WithinThreshold(a, b, theta)
+		if ok != (want < theta) {
+			t.Logf("WithinThreshold(%q,%q,%v): ok=%v, Normalized=%v", a, b, theta, ok, want)
+			return false
+		}
+		if ok && math.Abs(got-want) > 1e-12 {
+			t.Logf("WithinThreshold(%q,%q,%v): dist=%v, want %v", a, b, theta, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithinThresholdLengthEarlyOut(t *testing.T) {
+	// Long vs short strings with a tight threshold must be rejected
+	// without full DP.
+	long := strings.Repeat("a", 10000)
+	if _, ok := WithinThreshold(long, "a", 0.1); ok {
+		t.Error("length gap should fail the threshold")
+	}
+	if _, ok := WithinThreshold("", "", 0.5); !ok {
+		t.Error("two empty strings are within any positive threshold")
+	}
+	if _, ok := WithinThreshold("", "", 0.0); ok {
+		t.Error("strict threshold 0 admits nothing")
+	}
+}
+
+func BenchmarkLevenshteinWords(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Levenshtein("experimental factor ontology", "experimental factor ontologies")
+	}
+}
+
+func BenchmarkWithinThresholdReject(b *testing.B) {
+	x := strings.Repeat("abcdefgh", 16)
+	y := strings.Repeat("hgfedcba", 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		WithinThreshold(x, y, 0.2)
+	}
+}

@@ -1,0 +1,165 @@
+// Package truth represents ground-truth alignments and the precision
+// metrics of the GtoPdb evaluation in Buneman & Staworko (PVLDB 2016,
+// §5.2): for every alignment the paper counts exact, inclusive, missing and
+// false matches against a key-derived ground truth in which "a node is
+// aligned to at most one other node".
+package truth
+
+import (
+	"fmt"
+
+	"rdfalign/internal/core"
+	"rdfalign/internal/rdf"
+)
+
+// Truth is a partial 1-to-1 correspondence between source and target nodes,
+// expressed over URI labels (the ground truth of §5.2 identifies tuples by
+// their persistent primary keys, which determine the version-specific URI).
+type Truth struct {
+	s2t map[string]string
+	t2s map[string]string
+}
+
+// New returns an empty ground truth.
+func New() *Truth {
+	return &Truth{s2t: make(map[string]string), t2s: make(map[string]string)}
+}
+
+// Add records that the source URI su corresponds to the target URI tu. It
+// panics if either side is already mapped differently, which would make the
+// truth not 1-to-1 and always indicates a generator bug.
+func (tr *Truth) Add(su, tu string) {
+	if prev, ok := tr.s2t[su]; ok && prev != tu {
+		panic(fmt.Sprintf("truth: %s mapped to both %s and %s", su, prev, tu))
+	}
+	if prev, ok := tr.t2s[tu]; ok && prev != su {
+		panic(fmt.Sprintf("truth: %s mapped from both %s and %s", tu, prev, su))
+	}
+	tr.s2t[su] = tu
+	tr.t2s[tu] = su
+}
+
+// Size returns the number of ground-truth pairs.
+func (tr *Truth) Size() int { return len(tr.s2t) }
+
+// TargetOf returns the ground-truth match of a source URI.
+func (tr *Truth) TargetOf(su string) (string, bool) {
+	t, ok := tr.s2t[su]
+	return t, ok
+}
+
+// SourceOf returns the ground-truth match of a target URI.
+func (tr *Truth) SourceOf(tu string) (string, bool) {
+	s, ok := tr.t2s[tu]
+	return s, ok
+}
+
+// Precision tallies the four match classes of Figure 14 over source URIs:
+//
+//   - Exact: the node is aligned to exactly the set {ground-truth match},
+//   - Inclusive: aligned to a proper superset containing the match,
+//   - Missing: the ground-truth match is not among the node's matches
+//     (including the node being unaligned),
+//   - False: the ground truth leaves the node unmatched but the method
+//     aligns it to something.
+//
+// Unmatched nodes the method also leaves unaligned are true negatives and
+// reported separately.
+type Precision struct {
+	Exact, Inclusive, Missing, False, TrueNegative int
+}
+
+// Total returns the number of classified nodes.
+func (p Precision) Total() int {
+	return p.Exact + p.Inclusive + p.Missing + p.False + p.TrueNegative
+}
+
+// String renders a compact summary.
+func (p Precision) String() string {
+	return fmt.Sprintf("exact=%d inclusive=%d missing=%d false=%d trueneg=%d",
+		p.Exact, p.Inclusive, p.Missing, p.False, p.TrueNegative)
+}
+
+// Matches reports, for a source-graph node ID, the target-graph node IDs an
+// alignment associates with it. core.Alignment.MatchesOf satisfies it, as
+// does any threshold-based distance alignment.
+type Matches func(n rdf.NodeID) []rdf.NodeID
+
+// Classify evaluates an alignment against the ground truth, over the source
+// graph's URI nodes. A node's match set is the set of target URIs aligned
+// with it (non-URI matches are ignored: the ground truth speaks only about
+// resources).
+func Classify(c *rdf.Combined, matches Matches, tr *Truth) Precision {
+	var p Precision
+	src := c.SourceGraph()
+	tgt := c.TargetGraph()
+	src.Nodes(func(n rdf.NodeID) {
+		if !src.IsURI(n) {
+			return
+		}
+		su := src.Label(n).Value
+		want, hasTruth := tr.s2t[su]
+		var uriMatches []string
+		for _, m := range matches(n) {
+			if tgt.IsURI(m) {
+				uriMatches = append(uriMatches, tgt.Label(m).Value)
+			}
+		}
+		switch {
+		case !hasTruth && len(uriMatches) == 0:
+			p.TrueNegative++
+		case !hasTruth:
+			p.False++
+		default:
+			containsWant := false
+			for _, u := range uriMatches {
+				if u == want {
+					containsWant = true
+					break
+				}
+			}
+			switch {
+			case !containsWant:
+				p.Missing++
+			case len(uriMatches) == 1:
+				p.Exact++
+			default:
+				p.Inclusive++
+			}
+		}
+	})
+	return p
+}
+
+// AlignedTruthPairs counts how many ground-truth pairs the partition
+// reproduces (both endpoints in the same class) — the duplicate-free
+// aligned-node count of Figure 13 for the GtoPdb line itself.
+func AlignedTruthPairs(c *rdf.Combined, p *core.Partition, tr *Truth) int {
+	// Build label → node maps once.
+	srcByURI := make(map[string]rdf.NodeID, c.N1)
+	src := c.SourceGraph()
+	src.Nodes(func(n rdf.NodeID) {
+		if src.IsURI(n) {
+			srcByURI[src.Label(n).Value] = n
+		}
+	})
+	tgt := c.TargetGraph()
+	tgtByURI := make(map[string]rdf.NodeID, c.N2)
+	tgt.Nodes(func(n rdf.NodeID) {
+		if tgt.IsURI(n) {
+			tgtByURI[tgt.Label(n).Value] = n
+		}
+	})
+	count := 0
+	for su, tu := range tr.s2t {
+		sn, ok1 := srcByURI[su]
+		tn, ok2 := tgtByURI[tu]
+		if !ok1 || !ok2 {
+			continue
+		}
+		if p.Color(c.FromSource(sn)) == p.Color(c.FromTarget(tn)) {
+			count++
+		}
+	}
+	return count
+}

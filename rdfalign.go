@@ -1,0 +1,404 @@
+package rdfalign
+
+import (
+	"fmt"
+	"io"
+
+	"rdfalign/internal/core"
+	"rdfalign/internal/rdf"
+	"rdfalign/internal/similarity"
+)
+
+// Re-exported data model types (see internal/rdf for full documentation).
+type (
+	// Graph is an immutable RDF triple graph.
+	Graph = rdf.Graph
+	// Builder constructs graphs incrementally.
+	Builder = rdf.Builder
+	// Combined is the disjoint union of the two graphs being aligned.
+	Combined = rdf.Combined
+	// NodeID identifies a node within one graph.
+	NodeID = rdf.NodeID
+	// Label is a node label (URI, literal or blank).
+	Label = rdf.Label
+	// Stats carries the node/edge counts of a graph.
+	Stats = rdf.Stats
+)
+
+// NewBuilder returns a builder for a graph with the given diagnostic name.
+func NewBuilder(name string) *Builder { return rdf.NewBuilder(name) }
+
+// ParseNTriples reads an N-Triples document into a validated graph.
+func ParseNTriples(r io.Reader, name string) (*Graph, error) {
+	return rdf.ParseNTriples(r, name)
+}
+
+// ParseNTriplesString parses an in-memory N-Triples document.
+func ParseNTriplesString(doc, name string) (*Graph, error) {
+	return rdf.ParseNTriplesString(doc, name)
+}
+
+// WriteNTriples serialises a graph as N-Triples.
+func WriteNTriples(w io.Writer, g *Graph) error { return rdf.WriteNTriples(w, g) }
+
+// ParseTurtle reads a Turtle document (the supported subset covers
+// prefixes, predicate/object lists, anonymous blanks, literal
+// abbreviations; see internal/rdf/turtle.go) into a validated graph.
+func ParseTurtle(r io.Reader, name string) (*Graph, error) {
+	return rdf.ParseTurtle(r, name)
+}
+
+// ParseTurtleString parses an in-memory Turtle document.
+func ParseTurtleString(doc, name string) (*Graph, error) {
+	return rdf.ParseTurtleString(doc, name)
+}
+
+// WriteTurtle serialises a graph as Turtle with derived prefixes.
+func WriteTurtle(w io.Writer, g *Graph) error { return rdf.WriteTurtle(w, g) }
+
+// GatherStats computes node and edge counts.
+func GatherStats(g *Graph) Stats { return rdf.GatherStats(g) }
+
+// Union builds the disjoint union of a source and a target graph. Align
+// does this internally; Union is exposed for callers that need the combined
+// graph itself.
+func Union(g1, g2 *Graph) *Combined { return rdf.Union(g1, g2) }
+
+// Method selects an alignment algorithm.
+type Method int
+
+const (
+	// Trivial aligns non-blank nodes with equal labels (§3.1).
+	Trivial Method = iota
+	// Deblank extends Trivial with bisimulation on blank nodes (§3.3).
+	Deblank
+	// Hybrid extends Deblank by re-refining unaligned non-literal nodes
+	// from a neutral color, aligning renamed URIs by content (§3.4).
+	Hybrid
+	// Overlap approximates the σEdit similarity with weighted partitions
+	// built by the inverted-index overlap heuristic (§4.4–4.7,
+	// Algorithms 1 and 2). Robust to small edits; scalable.
+	Overlap
+	// SigmaEdit computes the exact σEdit node distance (§4.2) and aligns
+	// pairs within the threshold. Quadratic in the unaligned node counts;
+	// use only on small graphs (it is the reference Overlap
+	// approximates).
+	SigmaEdit
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case Trivial:
+		return "trivial"
+	case Deblank:
+		return "deblank"
+	case Hybrid:
+		return "hybrid"
+	case Overlap:
+		return "overlap"
+	case SigmaEdit:
+		return "sigmaedit"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// ParseMethod converts a method name to a Method.
+func ParseMethod(s string) (Method, error) {
+	for _, m := range []Method{Trivial, Deblank, Hybrid, Overlap, SigmaEdit} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("rdfalign: unknown method %q (trivial, deblank, hybrid, overlap, sigmaedit)", s)
+}
+
+// Options configures Align.
+type Options struct {
+	// Method selects the algorithm; the zero value is Trivial.
+	Method Method
+	// Theta is the similarity threshold θ for Overlap and SigmaEdit;
+	// default 0.65 (the paper's evaluation setting).
+	Theta float64
+	// Epsilon is the weight/distance stabilisation threshold for the
+	// fixpoint iterations; default 1e-9.
+	Epsilon float64
+	// MaxSigmaEditPairs bounds the σEdit pair matrix (default 4e6).
+	MaxSigmaEditPairs int
+	// Context switches the Deblank and Hybrid refinements to the
+	// context-aware variant of §3.3/§6: nodes are characterised by their
+	// incoming edges as well as their contents. Stricter — nodes with
+	// equal contents but different contexts no longer align.
+	Context bool
+	// Adaptive enables §5.1's suggested treatment of URIs used only in
+	// predicate position: nodes without contents are characterised by
+	// their predicate occurrences (the subject/object colors of triples
+	// using them), falling back to their context. Fixes the paper's
+	// known predicate misalignment errors.
+	Adaptive bool
+	// KeyPredicates, when non-empty, restricts refinement to edges whose
+	// predicate URI is listed — the graph-key variant of §6.
+	KeyPredicates []string
+}
+
+// Alignment is the result of Align: a relation between the nodes of the
+// source and target graphs. Nodes are addressed by their per-graph NodeIDs
+// (as returned by the builders/parsers) or by URI via the *URI helpers.
+type Alignment struct {
+	// Method and Theta echo the options used.
+	Method Method
+	Theta  float64
+
+	c     *rdf.Combined
+	part  *core.Partition // partition backing (all methods except SigmaEdit)
+	inner *core.Alignment // partition/weighted alignment
+	sigma *similarity.SigmaEdit
+
+	// Diagnostics.
+	refineIterations int
+	overlapRounds    int
+}
+
+// Align aligns a source and a target graph.
+func Align(g1, g2 *Graph, opt Options) (*Alignment, error) {
+	if opt.Theta == 0 {
+		opt.Theta = similarity.DefaultTheta
+	}
+	if opt.Theta < 0 || opt.Theta > 1 {
+		return nil, fmt.Errorf("rdfalign: theta %v outside [0, 1]", opt.Theta)
+	}
+	c := rdf.Union(g1, g2)
+	in := core.NewInterner()
+	a := &Alignment{Method: opt.Method, Theta: opt.Theta, c: c}
+	refineOpts, customRefine := refinementOptions(opt)
+	switch opt.Method {
+	case Trivial:
+		a.part = core.TrivialPartition(c.Graph, in)
+	case Deblank:
+		if customRefine {
+			a.part, a.refineIterations = core.DeblankPartitionOpts(c.Graph, in, refineOpts)
+		} else {
+			a.part, a.refineIterations = core.DeblankPartition(c.Graph, in)
+		}
+	case Hybrid:
+		if customRefine {
+			a.part, a.refineIterations = core.HybridPartitionOpts(c, in, refineOpts)
+		} else {
+			a.part, a.refineIterations = core.HybridPartition(c, in)
+		}
+	case Overlap:
+		hybrid, iters := hybridBase(c, in, refineOpts, customRefine)
+		a.refineIterations = iters
+		res, err := similarity.OverlapAlign(c, hybrid, similarity.OverlapOptions{
+			Theta:   opt.Theta,
+			Epsilon: opt.Epsilon,
+		})
+		if err != nil {
+			return nil, err
+		}
+		a.part = res.Xi.P
+		a.overlapRounds = res.Rounds
+		a.inner = res.Alignment(c)
+	case SigmaEdit:
+		hybrid, iters := hybridBase(c, in, refineOpts, customRefine)
+		a.refineIterations = iters
+		a.part = hybrid
+		s, err := similarity.NewSigmaEdit(c, hybrid, similarity.SigmaEditOptions{
+			Epsilon:  opt.Epsilon,
+			MaxPairs: opt.MaxSigmaEditPairs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		a.sigma = s
+	default:
+		return nil, fmt.Errorf("rdfalign: unknown method %v", opt.Method)
+	}
+	if a.inner == nil && a.sigma == nil {
+		a.inner = core.NewAlignment(c, a.part)
+	}
+	return a, nil
+}
+
+// hybridBase computes the hybrid partition the similarity methods refine,
+// honouring any active extension options.
+func hybridBase(c *rdf.Combined, in *core.Interner, ro core.RefineOptions, custom bool) (*core.Partition, int) {
+	if custom {
+		return core.HybridPartitionOpts(c, in, ro)
+	}
+	return core.HybridPartition(c, in)
+}
+
+// refinementOptions translates the public extension options into core
+// refinement options; the boolean reports whether any extension is active.
+func refinementOptions(opt Options) (core.RefineOptions, bool) {
+	var ro core.RefineOptions
+	active := false
+	if opt.Context {
+		ro.Direction = core.DirBoth
+		active = true
+	}
+	if opt.Adaptive {
+		ro.Adaptive = true
+		active = true
+	}
+	if len(opt.KeyPredicates) > 0 {
+		ro.Filter = core.PredicateKeyFilter(opt.KeyPredicates...)
+		active = true
+	}
+	return ro, active
+}
+
+// Combined returns the union graph the alignment was computed on.
+func (a *Alignment) Combined() *Combined { return a.c }
+
+// RefineIterations reports how many partition-refinement iterations ran.
+func (a *Alignment) RefineIterations() int { return a.refineIterations }
+
+// OverlapRounds reports how many enrich/propagate rounds Algorithm 2 ran
+// (Overlap method only).
+func (a *Alignment) OverlapRounds() int { return a.overlapRounds }
+
+// Aligned reports whether source node n1 (a G1 node ID) is aligned with
+// target node n2 (a G2 node ID).
+func (a *Alignment) Aligned(n1, n2 NodeID) bool {
+	if a.sigma != nil {
+		// Align_θ(σ) uses σ(n, m) ≤ θ (§4.1).
+		return a.sigma.Distance(a.c.FromSource(n1), a.c.FromTarget(n2)) <= a.Theta
+	}
+	return a.inner.Aligned(n1, n2)
+}
+
+// Distance returns the distance the alignment's underlying model assigns to
+// the pair: σEdit for SigmaEdit, the weighted-partition distance σ_ξ for
+// Overlap, and 0/1 (aligned/unaligned) for the partition methods.
+func (a *Alignment) Distance(n1, n2 NodeID) float64 {
+	cn, cm := a.c.FromSource(n1), a.c.FromTarget(n2)
+	switch {
+	case a.sigma != nil:
+		return a.sigma.Distance(cn, cm)
+	case a.inner.W != nil:
+		if a.part.Color(cn) != a.part.Color(cm) {
+			return 1
+		}
+		return core.OPlus(a.inner.W[cn], a.inner.W[cm])
+	default:
+		if a.part.Color(cn) == a.part.Color(cm) {
+			return 0
+		}
+		return 1
+	}
+}
+
+// MatchesOf returns the target node IDs aligned with source node n1.
+func (a *Alignment) MatchesOf(n1 NodeID) []NodeID {
+	if a.sigma != nil {
+		var out []NodeID
+		for j := 0; j < a.c.N2; j++ {
+			if a.Aligned(n1, NodeID(j)) {
+				out = append(out, NodeID(j))
+			}
+		}
+		return out
+	}
+	return a.inner.MatchesOf(n1)
+}
+
+// MatchesOfURI returns the target URIs aligned with the given source URI.
+func (a *Alignment) MatchesOfURI(uri string) []string {
+	src := a.c.SourceGraph()
+	n, ok := src.FindURI(uri)
+	if !ok {
+		return nil
+	}
+	tgt := a.c.TargetGraph()
+	var out []string
+	for _, m := range a.MatchesOf(n) {
+		if tgt.IsURI(m) {
+			out = append(out, tgt.Label(m).Value)
+		}
+	}
+	return out
+}
+
+// Pairs visits every aligned pair in sorted order. For SigmaEdit this
+// enumerates the quadratic pair space; prefer Aligned/MatchesOf there.
+func (a *Alignment) Pairs(f func(n1, n2 NodeID)) {
+	if a.sigma != nil {
+		for i := 0; i < a.c.N1; i++ {
+			for j := 0; j < a.c.N2; j++ {
+				if a.Aligned(NodeID(i), NodeID(j)) {
+					f(NodeID(i), NodeID(j))
+				}
+			}
+		}
+		return
+	}
+	a.inner.Pairs(f)
+}
+
+// PairCount returns the number of aligned pairs.
+func (a *Alignment) PairCount() int {
+	n := 0
+	a.Pairs(func(_, _ NodeID) { n++ })
+	return n
+}
+
+// EdgeStats reports the aligned-edge signature statistics under the
+// alignment's partition (the measure behind the paper's Figures 10 and 11).
+// For SigmaEdit the underlying hybrid partition is used.
+type EdgeStats struct {
+	// Common is the number of edge signatures occurring in both versions;
+	// Union the number occurring in either.
+	Common, Union int
+}
+
+// Ratio returns Common/Union (1 when both graphs are empty).
+func (s EdgeStats) Ratio() float64 {
+	if s.Union == 0 {
+		return 1
+	}
+	return float64(s.Common) / float64(s.Union)
+}
+
+// EdgeStats computes the aligned-edge statistics.
+func (a *Alignment) EdgeStats() EdgeStats {
+	st := core.EdgeAlignment(a.c, a.part)
+	return EdgeStats{Common: st.Common, Union: st.Union()}
+}
+
+// AlignedEntityCount returns the number of clusters containing nodes of
+// both versions — the duplicate-free aligned entity count of Figure 13.
+// With onlyURIs set, only clusters containing a URI node are counted.
+func (a *Alignment) AlignedEntityCount(onlyURIs bool) int {
+	if a.sigma != nil {
+		// σEdit does not define clusters; count source URIs with at
+		// least one match instead.
+		count := 0
+		for i := 0; i < a.c.N1; i++ {
+			n := NodeID(i)
+			if onlyURIs && !a.c.SourceGraph().IsURI(n) {
+				continue
+			}
+			if len(a.MatchesOf(n)) > 0 {
+				count++
+			}
+		}
+		return count
+	}
+	return core.NewAlignment(a.c, a.part).AlignedEntityCount(onlyURIs)
+}
+
+// Unaligned returns the source and target node IDs (per-graph) left
+// unaligned by the alignment's partition.
+func (a *Alignment) Unaligned() (src, tgt []NodeID) {
+	un1, un2 := core.Unaligned(a.c, a.part)
+	for _, n := range un1 {
+		src = append(src, a.c.ToSource(n))
+	}
+	for _, n := range un2 {
+		tgt = append(tgt, a.c.ToTarget(n))
+	}
+	return src, tgt
+}

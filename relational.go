@@ -1,0 +1,48 @@
+package rdfalign
+
+import "rdfalign/internal/relational"
+
+// The relational substrate behind the GtoPdb experiment (§5.2), re-exported
+// so applications can export their own relational data to RDF with the W3C
+// Direct Mapping and align the exports.
+type (
+	// RelSchema describes a relational table.
+	RelSchema = relational.Schema
+	// RelColumn describes one column.
+	RelColumn = relational.Column
+	// RelForeignKey declares a reference to another table's primary key.
+	RelForeignKey = relational.ForeignKey
+	// RelValue is a nullable SQL value.
+	RelValue = relational.Value
+	// RelDatabase is an in-memory relational database.
+	RelDatabase = relational.Database
+	// MappingOptions configures the direct mapping export.
+	MappingOptions = relational.MappingOptions
+)
+
+// Column type constants for RelColumn.
+const (
+	RelInt   = relational.Int
+	RelFloat = relational.Float
+	RelText  = relational.Text
+	RelBool  = relational.Bool
+)
+
+// NewRelDatabase returns an empty relational database.
+func NewRelDatabase() *RelDatabase { return relational.NewDatabase() }
+
+// Relational value constructors.
+var (
+	RelIntValue   = relational.IntValue
+	RelFloatValue = relational.FloatValue
+	RelTextValue  = relational.TextValue
+	RelBoolValue  = relational.BoolValue
+	RelNullValue  = relational.NullValue
+)
+
+// DirectMap exports a relational database to RDF following the W3C Direct
+// Mapping: tuple URIs from primary keys, literal triples for value
+// attributes, reference triples for foreign keys.
+func DirectMap(db *RelDatabase, opt MappingOptions) (*Graph, error) {
+	return relational.DirectMap(db, opt)
+}
