@@ -1,0 +1,245 @@
+package rdfalign
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"rdfalign/internal/core"
+	"rdfalign/internal/rdf"
+	"rdfalign/internal/similarity"
+)
+
+// Progress reports one completed round of a long-running alignment stage.
+// Stage is one of "refine" (partition refinement, §3), "propagate"
+// (weighted refinement inside a propagation, §4.5), "overlap" (Algorithm 2
+// rounds, §4.7), "sigmaedit" (σEdit propagation rounds, §4.2) or "archive"
+// (one archived version); Round counts completed rounds within the stage
+// from 1, and Total is the round count when known in advance (archive
+// versions) or 0 for fixpoints of unknown length.
+type Progress = core.ProgressEvent
+
+// ProgressFunc observes per-round progress of an Aligner. It is called
+// synchronously from the alignment loops — and, when the Aligner is used
+// concurrently, from multiple goroutines — so it must be fast and
+// thread-safe.
+type ProgressFunc func(Progress)
+
+// alignerConfig is the resolved functional-option state of an Aligner.
+type alignerConfig struct {
+	method            Method
+	theta             float64
+	epsilon           float64
+	maxSigmaEditPairs int
+	contextual        bool
+	adaptive          bool
+	keyPredicates     []string
+	resolveAmbiguous  bool
+	progress          ProgressFunc
+	workers           int
+}
+
+// Option configures an Aligner. Options are applied in order by NewAligner;
+// later options override earlier ones.
+type Option func(*alignerConfig)
+
+// WithMethod selects the alignment algorithm (default Trivial, matching the
+// zero Options).
+func WithMethod(m Method) Option {
+	return func(c *alignerConfig) { c.method = m }
+}
+
+// WithTheta sets the similarity threshold θ for Overlap and SigmaEdit.
+// Zero selects the default 0.65 (the paper's evaluation setting), matching
+// the legacy Options.Theta semantics.
+func WithTheta(theta float64) Option {
+	return func(c *alignerConfig) { c.theta = theta }
+}
+
+// WithEpsilon sets the weight/distance stabilisation threshold for the
+// fixpoint iterations (default 1e-9).
+func WithEpsilon(eps float64) Option {
+	return func(c *alignerConfig) { c.epsilon = eps }
+}
+
+// WithMaxSigmaEditPairs bounds the σEdit pair matrix (default 4e6).
+func WithMaxSigmaEditPairs(n int) Option {
+	return func(c *alignerConfig) { c.maxSigmaEditPairs = n }
+}
+
+// WithContextual switches the Deblank and Hybrid refinements to the
+// context-aware variant of §3.3/§6: nodes are characterised by their
+// incoming edges as well as their contents. Stricter — nodes with equal
+// contents but different contexts no longer align.
+func WithContextual() Option {
+	return func(c *alignerConfig) { c.contextual = true }
+}
+
+// WithAdaptive enables §5.1's suggested treatment of URIs used only in
+// predicate position: nodes without contents are characterised by their
+// predicate occurrences (the subject/object colors of triples using them),
+// falling back to their context. Fixes the paper's known predicate
+// misalignment errors.
+func WithAdaptive() Option {
+	return func(c *alignerConfig) { c.adaptive = true }
+}
+
+// WithKeyPredicates restricts refinement to edges whose predicate URI is
+// listed — the graph-key variant of §6. An empty list removes the
+// restriction.
+func WithKeyPredicates(keys ...string) Option {
+	return func(c *alignerConfig) { c.keyPredicates = keys }
+}
+
+// WithResolveAmbiguous makes BuildArchive additionally chain entities
+// inside ambiguous alignment classes by matching occurrence profiles; see
+// ArchiveOptions.ResolveAmbiguous. It has no effect on Align.
+func WithResolveAmbiguous() Option {
+	return func(c *alignerConfig) { c.resolveAmbiguous = true }
+}
+
+// WithProgress registers a per-round progress observer.
+func WithProgress(f ProgressFunc) Option {
+	return func(c *alignerConfig) { c.progress = f }
+}
+
+// WithParallelism parallelises partition recoloring across the given number
+// of goroutines (the shared-memory analogue of the distributed bisimulation
+// the paper points to in §5.3). workers <= 0 selects GOMAXPROCS. The
+// parallel path covers the paper's default outbound recoloring; with
+// WithContextual, WithAdaptive or WithKeyPredicates active, refinement runs
+// sequentially. Results are identical to the sequential engine either way.
+func WithParallelism(workers int) Option {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return func(c *alignerConfig) { c.workers = workers }
+}
+
+// Aligner is a reusable alignment session: a validated configuration that
+// can align any number of graph pairs (and build archives) with context
+// cancellation and per-round progress reporting. An Aligner is immutable
+// after construction and safe for concurrent use by multiple goroutines.
+type Aligner struct {
+	cfg alignerConfig
+}
+
+// NewAligner validates the options and returns a session. The zero-option
+// session matches Align's defaults: the Trivial method at θ = 0.65.
+func NewAligner(opts ...Option) (*Aligner, error) {
+	var cfg alignerConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.theta == 0 {
+		cfg.theta = similarity.DefaultTheta
+	}
+	if cfg.theta < 0 || cfg.theta > 1 {
+		return nil, fmt.Errorf("rdfalign: theta %v outside [0, 1]", cfg.theta)
+	}
+	switch cfg.method {
+	case Trivial, Deblank, Hybrid, Overlap, SigmaEdit:
+	default:
+		return nil, fmt.Errorf("rdfalign: unknown method %v", cfg.method)
+	}
+	return &Aligner{cfg: cfg}, nil
+}
+
+// hooks assembles the core hooks for one Align/BuildArchive call.
+func (al *Aligner) hooks(ctx context.Context) core.Hooks {
+	h := core.Hooks{Ctx: ctx}
+	if al.cfg.progress != nil {
+		h.OnRound = al.cfg.progress
+	}
+	return h
+}
+
+// refineOptions translates the extension options into core refinement
+// options.
+func (al *Aligner) refineOptions() core.RefineOptions {
+	var ro core.RefineOptions
+	if al.cfg.contextual {
+		ro.Direction = core.DirBoth
+	}
+	if al.cfg.adaptive {
+		ro.Adaptive = true
+	}
+	if len(al.cfg.keyPredicates) > 0 {
+		ro.Filter = core.PredicateKeyFilter(al.cfg.keyPredicates...)
+	}
+	return ro
+}
+
+// engine assembles the core engine for one call.
+func (al *Aligner) engine(ctx context.Context) *core.Engine {
+	return &core.Engine{Opt: al.refineOptions(), Hooks: al.hooks(ctx), Workers: al.cfg.workers}
+}
+
+// Align aligns a source and a target graph. The context is checked before
+// work starts and once per round of every long-running fixpoint (partition
+// refinement, overlap enrich/propagate rounds, σEdit propagation); on
+// cancellation Align promptly returns ctx.Err(). A nil ctx is treated as
+// context.Background().
+func (al *Aligner) Align(ctx context.Context, g1, g2 *Graph) (*Alignment, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	eng := al.engine(ctx)
+	c := rdf.Union(g1, g2)
+	in := core.NewInterner()
+	a := &Alignment{Method: al.cfg.method, Theta: al.cfg.theta, c: c}
+	var err error
+	switch al.cfg.method {
+	case Trivial:
+		a.part = core.TrivialPartition(c.Graph, in)
+	case Deblank:
+		a.part, a.refineIterations, err = eng.Deblank(c.Graph, in)
+	case Hybrid:
+		a.part, a.refineIterations, err = eng.Hybrid(c, in)
+	case Overlap:
+		var hybrid *core.Partition
+		hybrid, a.refineIterations, err = eng.Hybrid(c, in)
+		if err != nil {
+			break
+		}
+		var res *similarity.OverlapResult
+		res, err = similarity.OverlapAlign(c, hybrid, similarity.OverlapOptions{
+			Theta:   al.cfg.theta,
+			Epsilon: al.cfg.epsilon,
+			Hooks:   eng.Hooks,
+		})
+		if err != nil {
+			break
+		}
+		a.part = res.Xi.P
+		a.overlapRounds = res.Rounds
+		a.rel = newPartitionRelation(c, a.part, res.Alignment(c))
+	case SigmaEdit:
+		var hybrid *core.Partition
+		hybrid, a.refineIterations, err = eng.Hybrid(c, in)
+		if err != nil {
+			break
+		}
+		a.part = hybrid
+		var s *similarity.SigmaEdit
+		s, err = similarity.NewSigmaEdit(c, hybrid, similarity.SigmaEditOptions{
+			Epsilon:  al.cfg.epsilon,
+			MaxPairs: al.cfg.maxSigmaEditPairs,
+			Hooks:    eng.Hooks,
+		})
+		if err != nil {
+			break
+		}
+		a.rel = newSigmaRelation(c, hybrid, s, al.cfg.theta)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if a.rel == nil {
+		a.rel = newPartitionRelation(c, a.part, core.NewAlignment(c, a.part))
+	}
+	return a, nil
+}

@@ -1,0 +1,405 @@
+package rdfalign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"rdfalign/internal/core"
+)
+
+var allMethods = []Method{Trivial, Deblank, Hybrid, Overlap, SigmaEdit}
+
+// TestAlignerPreCancelledContext: a context cancelled before Align is
+// called aborts every method before any work starts.
+func TestAlignerPreCancelledContext(t *testing.T) {
+	g1, g2 := parseFig1(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, m := range allMethods {
+		t.Run(m.String(), func(t *testing.T) {
+			al, err := NewAligner(WithMethod(m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := al.Align(ctx, g1, g2)
+			if a != nil || !errors.Is(err, context.Canceled) {
+				t.Fatalf("Align = %v, %v; want nil, context.Canceled", a, err)
+			}
+		})
+	}
+}
+
+// TestAlignerExpiredDeadline: an already-expired deadline surfaces as
+// context.DeadlineExceeded from every method.
+func TestAlignerExpiredDeadline(t *testing.T) {
+	g1, g2 := parseFig1(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	for _, m := range allMethods {
+		al, err := NewAligner(WithMethod(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := al.Align(ctx, g1, g2); !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%s: err = %v, want context.DeadlineExceeded", m, err)
+		}
+	}
+}
+
+// cancelOnStage returns a context plus an option cancelling it from the
+// first progress event of the given stage — deterministic mid-run
+// cancellation without timing assumptions.
+func cancelOnStage(stage string) (context.Context, Option) {
+	ctx, cancel := context.WithCancel(context.Background())
+	return ctx, WithProgress(func(p Progress) {
+		if p.Stage == stage {
+			cancel()
+		}
+	})
+}
+
+// TestAlignerCancelDuringOverlap: cancelling mid-run (from inside a
+// propagation round of Algorithm 2) aborts the Overlap loop with ctx.Err().
+func TestAlignerCancelDuringOverlap(t *testing.T) {
+	g1, g2 := parseFig1(t)
+	ctx, progress := cancelOnStage("propagate")
+	al, err := NewAligner(WithMethod(Overlap), progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := al.Align(ctx, g1, g2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestAlignerCancelDuringSigmaEdit: cancelling mid-run (from inside a σEdit
+// propagation round) aborts the distance fixpoint with ctx.Err().
+func TestAlignerCancelDuringSigmaEdit(t *testing.T) {
+	g1, g2 := parseFig1(t)
+	ctx, progress := cancelOnStage("sigmaedit")
+	al, err := NewAligner(WithMethod(SigmaEdit), progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := al.Align(ctx, g1, g2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestNewAlignerValidation: bad configurations fail at construction.
+func TestNewAlignerValidation(t *testing.T) {
+	if _, err := NewAligner(WithTheta(1.5)); err == nil {
+		t.Error("theta 1.5 accepted")
+	}
+	if _, err := NewAligner(WithTheta(-0.1)); err == nil {
+		t.Error("theta -0.1 accepted")
+	}
+	if _, err := NewAligner(WithMethod(Method(99))); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if al, err := NewAligner(); err != nil || al == nil {
+		t.Errorf("zero-option aligner: %v, %v", al, err)
+	}
+}
+
+// pairSet collects an alignment's pairs for comparison.
+func pairSet(a *Alignment) map[[2]NodeID]bool {
+	out := map[[2]NodeID]bool{}
+	a.Pairs(func(n1, n2 NodeID) { out[[2]NodeID{n1, n2}] = true })
+	return out
+}
+
+// samePairs fails the test if two alignments disagree on any pair.
+func samePairs(t *testing.T, want, got *Alignment) {
+	t.Helper()
+	ws, gs := pairSet(want), pairSet(got)
+	if len(ws) != len(gs) {
+		t.Fatalf("pair counts differ: legacy %d, aligner %d", len(ws), len(gs))
+	}
+	for p := range ws {
+		if !gs[p] {
+			t.Fatalf("pair %v missing from aligner result", p)
+		}
+	}
+}
+
+// TestOptionEquivalence proves the functional options produce identical
+// alignments to the legacy Options struct on the §5 generator datasets.
+func TestOptionEquivalence(t *testing.T) {
+	efo, err := GenerateEFO(EFOConfig{Versions: 4, Scale: 0.01, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gtopdb, err := GenerateGtoPdb(GtoPdbConfig{Versions: 3, Scale: 0.004, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		g1, g2 *Graph
+		legacy Options
+		opts   []Option
+	}{
+		{"efo/trivial", efo.Graphs[0], efo.Graphs[1], Options{Method: Trivial},
+			[]Option{WithMethod(Trivial)}},
+		{"efo/hybrid", efo.Graphs[2], efo.Graphs[3], Options{Method: Hybrid},
+			[]Option{WithMethod(Hybrid)}},
+		{"efo/overlap", efo.Graphs[2], efo.Graphs[3], Options{Method: Overlap, Theta: 0.5},
+			[]Option{WithMethod(Overlap), WithTheta(0.5)}},
+		{"efo/hybrid-context", efo.Graphs[0], efo.Graphs[1], Options{Method: Hybrid, Context: true},
+			[]Option{WithMethod(Hybrid), WithContextual()}},
+		{"efo/deblank-adaptive", efo.Graphs[0], efo.Graphs[1], Options{Method: Deblank, Adaptive: true},
+			[]Option{WithMethod(Deblank), WithAdaptive()}},
+		{"gtopdb/overlap", gtopdb.Graphs[0], gtopdb.Graphs[1], Options{Method: Overlap},
+			[]Option{WithMethod(Overlap)}},
+		{"gtopdb/hybrid-keys", gtopdb.Graphs[0], gtopdb.Graphs[1],
+			Options{Method: Hybrid, KeyPredicates: []string{"http://example.org/gtopdb/ligand#name"}},
+			[]Option{WithMethod(Hybrid), WithKeyPredicates("http://example.org/gtopdb/ligand#name")}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			legacy, err := Align(tc.g1, tc.g2, tc.legacy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			al, err := NewAligner(tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := al.Align(context.Background(), tc.g1, tc.g2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			samePairs(t, legacy, got)
+			if legacy.Method != got.Method || legacy.Theta != got.Theta {
+				t.Errorf("echoed config differs: legacy %v/%v, aligner %v/%v",
+					legacy.Method, legacy.Theta, got.Method, got.Theta)
+			}
+		})
+	}
+}
+
+// TestAlignerParallelismEquivalence: parallel refinement produces the same
+// alignment as the sequential engine.
+func TestAlignerParallelismEquivalence(t *testing.T) {
+	d, err := GenerateEFO(EFOConfig{Versions: 8, Scale: 0.02, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, g2 := d.Graphs[6], d.Graphs[7] // the bulk prefix migration pair
+	seq, err := Align(g1, g2, Options{Method: Hybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := NewAligner(WithMethod(Hybrid), WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := al.Align(context.Background(), g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePairs(t, seq, par)
+}
+
+// conformRelation checks the Relation contract on every source/target pair:
+// Pairs, Aligned and MatchesOf agree; distances stay in [0, 1]; aligned
+// pairs are within the threshold; Unaligned and the entity counts are
+// well-formed.
+func conformRelation(t *testing.T, a *Alignment, g1, g2 *Graph) {
+	t.Helper()
+	rel := a.Relation()
+	if rel == nil {
+		t.Fatal("Relation() = nil")
+	}
+	pairs := map[[2]NodeID]bool{}
+	rel.Pairs(func(n1, n2 NodeID) { pairs[[2]NodeID{n1, n2}] = true })
+	for i := 0; i < g1.NumNodes(); i++ {
+		n1 := NodeID(i)
+		matches := map[NodeID]bool{}
+		for _, m := range rel.MatchesOf(n1) {
+			matches[m] = true
+		}
+		for j := 0; j < g2.NumNodes(); j++ {
+			n2 := NodeID(j)
+			aligned := rel.Aligned(n1, n2)
+			if aligned != pairs[[2]NodeID{n1, n2}] {
+				t.Fatalf("Aligned(%d,%d)=%v disagrees with Pairs", n1, n2, aligned)
+			}
+			if aligned != matches[n2] {
+				t.Fatalf("Aligned(%d,%d)=%v disagrees with MatchesOf", n1, n2, aligned)
+			}
+			d := rel.Distance(n1, n2)
+			if d < 0 || d > 1 {
+				t.Fatalf("Distance(%d,%d) = %v outside [0,1]", n1, n2, d)
+			}
+			if aligned && d > a.Theta {
+				t.Fatalf("aligned pair (%d,%d) at distance %v > theta %v", n1, n2, d, a.Theta)
+			}
+		}
+	}
+	src, tgt := rel.Unaligned()
+	for _, n := range src {
+		if int(n) < 0 || int(n) >= g1.NumNodes() {
+			t.Fatalf("unaligned source id %d out of range", n)
+		}
+	}
+	for _, n := range tgt {
+		if int(n) < 0 || int(n) >= g2.NumNodes() {
+			t.Fatalf("unaligned target id %d out of range", n)
+		}
+	}
+	all, uris := rel.AlignedEntityCount(false), rel.AlignedEntityCount(true)
+	if uris > all {
+		t.Fatalf("AlignedEntityCount: URI-only %d exceeds total %d", uris, all)
+	}
+}
+
+// TestRelationConformance runs the contract against both implementations:
+// partition-backed (plain via Hybrid, weighted via Overlap) and
+// σEdit-backed.
+func TestRelationConformance(t *testing.T) {
+	g1, g2 := parseFig1(t)
+	for _, m := range []Method{Hybrid, Overlap, SigmaEdit} {
+		t.Run(m.String(), func(t *testing.T) {
+			a, err := Align(g1, g2, Options{Method: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			conformRelation(t, a, g1, g2)
+		})
+	}
+}
+
+// TestAlignerProgressStages: the progress hook observes the refinement and
+// similarity stages with 1-based round numbers.
+func TestAlignerProgressStages(t *testing.T) {
+	g1, g2 := parseFig1(t)
+	rounds := map[string]int{}
+	al, err := NewAligner(WithMethod(Overlap), WithProgress(func(p Progress) {
+		if p.Round < 1 {
+			t.Errorf("stage %s reported round %d", p.Stage, p.Round)
+		}
+		rounds[p.Stage]++
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := al.Align(context.Background(), g1, g2); err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range []string{"propagate", "overlap"} {
+		if rounds[stage] == 0 {
+			t.Errorf("no %q progress events (got %v)", stage, rounds)
+		}
+	}
+}
+
+// TestAlignerBuildArchive: the session archive build matches the legacy
+// BuildArchive, reports one per-version event, and honours cancellation.
+func TestAlignerBuildArchive(t *testing.T) {
+	d, err := GenerateEFO(EFOConfig{Versions: 4, Scale: 0.01, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := BuildArchive(d.Graphs, ArchiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var versions []string
+	al, err := NewAligner(WithMethod(Hybrid), WithProgress(func(p Progress) {
+		if p.Stage == "archive" {
+			versions = append(versions, fmt.Sprintf("%d/%d", p.Round, p.Total))
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arc, err := al.BuildArchive(context.Background(), d.Graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := arc.GatherStats().String(), legacy.GatherStats().String(); got != want {
+		t.Errorf("session archive differs from legacy:\n got %s\nwant %s", got, want)
+	}
+	if want := []string{"1/4", "2/4", "3/4", "4/4"}; fmt.Sprint(versions) != fmt.Sprint(want) {
+		t.Errorf("per-version progress = %v, want %v", versions, want)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := al.BuildArchive(ctx, d.Graphs); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled BuildArchive err = %v, want context.Canceled", err)
+	}
+}
+
+// TestWithThetaZeroMeansDefault: WithTheta(0) selects the 0.65 default for
+// every method, exactly like the legacy Options.Theta zero value.
+func TestWithThetaZeroMeansDefault(t *testing.T) {
+	g1, g2 := parseFig1(t)
+	for _, m := range []Method{Overlap, SigmaEdit} {
+		legacy, err := Align(g1, g2, Options{Method: m, Theta: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		al, err := NewAligner(WithMethod(m), WithTheta(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := al.Align(context.Background(), g1, g2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Theta != 0.65 || legacy.Theta != 0.65 {
+			t.Errorf("%s: Theta echoed as %v (legacy %v), want 0.65", m, got.Theta, legacy.Theta)
+		}
+		samePairs(t, legacy, got)
+	}
+}
+
+// TestAlignerArchiveHonoursExtensions: BuildArchive applies the session's
+// refinement extensions to the per-pair alignments — the session archive
+// matches a direct archive.Build with the equivalent RefineOptions.
+func TestAlignerArchiveHonoursExtensions(t *testing.T) {
+	d, err := GenerateEFO(EFOConfig{Versions: 3, Scale: 0.01, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "http://www.w3.org/2000/01/rdf-schema#label"
+	al, err := NewAligner(WithMethod(Hybrid), WithContextual(), WithKeyPredicates(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := al.BuildArchive(context.Background(), d.Graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := BuildArchive(d.Graphs, ArchiveOptions{
+		Refine: core.RefineOptions{
+			Direction: core.DirBoth,
+			Filter:    core.PredicateKeyFilter(key),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := got.GatherStats().String(), want.GatherStats().String(); g != w {
+		t.Errorf("session archive ignores extensions:\n got %s\nwant %s", g, w)
+	}
+}
+
+// TestLegacyAlignStillValidates: the wrapper preserves the legacy error
+// behaviour for bad options.
+func TestLegacyAlignStillValidates(t *testing.T) {
+	g1, g2 := parseFig1(t)
+	if _, err := Align(g1, g2, Options{Theta: 2}); err == nil {
+		t.Error("theta 2 accepted")
+	}
+	if _, err := Align(g1, g2, Options{Method: Method(42)}); err == nil {
+		t.Error("unknown method accepted")
+	}
+}

@@ -1,6 +1,10 @@
 package rdfalign
 
-import "rdfalign/internal/archive"
+import (
+	"context"
+
+	"rdfalign/internal/archive"
+)
 
 // The compact multi-version representation the paper proposes as future
 // work (§6): triples decorated with version intervals, over entities
@@ -17,7 +21,36 @@ type (
 )
 
 // BuildArchive archives a sequence of graph versions, aligning consecutive
-// versions to chain node identities.
+// versions to chain node identities. It is the uncancellable legacy entry
+// point; (*Aligner).BuildArchive adds cancellation and per-version
+// progress.
 func BuildArchive(graphs []*Graph, opt ArchiveOptions) (*Archive, error) {
 	return archive.Build(graphs, opt)
+}
+
+// BuildArchive archives a sequence of graph versions under the session's
+// configuration: consecutive versions are aligned with the session's
+// refinement extensions (WithContextual, WithAdaptive, WithKeyPredicates),
+// its parallelism, and its Overlap settings when the method is Overlap (the
+// hybrid partition otherwise); WithResolveAmbiguous carries over. The
+// context is checked before each version pair and inside every alignment
+// fixpoint; the session's progress observer additionally receives one
+// "archive" event per archived version (Round = 1-based version, Total =
+// version count).
+func (al *Aligner) BuildArchive(ctx context.Context, graphs []*Graph) (*Archive, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return archive.Build(graphs, ArchiveOptions{
+		UseOverlap:       al.cfg.method == Overlap,
+		ResolveAmbiguous: al.cfg.resolveAmbiguous,
+		Theta:            al.cfg.theta,
+		Epsilon:          al.cfg.epsilon,
+		Refine:           al.refineOptions(),
+		Workers:          al.cfg.workers,
+		Hooks:            al.hooks(ctx),
+	})
 }

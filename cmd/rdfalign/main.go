@@ -3,10 +3,16 @@
 //	rdfalign -method overlap [-theta 0.65] [-pairs] source.nt target.nt
 //
 // It prints dataset statistics, alignment statistics (aligned entities,
-// aligned-edge ratio) and, with -pairs, every aligned URI pair.
+// aligned-edge ratio) and, with -pairs, every aligned URI pair. The
+// refinement extensions are reachable as flags: -context characterises
+// nodes by incoming edges too, -adaptive fixes predicate-only URI
+// misalignments, -keys restricts refinement to a predicate key set.
+// -timeout bounds the run through context cancellation, -progress streams
+// per-round progress to stderr, and -workers parallelises refinement.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +24,12 @@ import (
 func main() {
 	method := flag.String("method", "hybrid", "alignment method: trivial, deblank, hybrid, overlap, sigmaedit")
 	theta := flag.Float64("theta", 0.65, "similarity threshold θ for overlap/sigmaedit")
+	contextual := flag.Bool("context", false, "characterise nodes by incoming edges as well as contents (§3.3/§6)")
+	adaptive := flag.Bool("adaptive", false, "characterise predicate-only URIs by their occurrences (§5.1)")
+	keys := flag.String("keys", "", "comma-separated predicate URIs restricting refinement (graph keys, §6)")
+	timeout := flag.Duration("timeout", 0, "abort the alignment after this duration (0 = no limit)")
+	progress := flag.Bool("progress", false, "stream per-round progress to stderr")
+	workers := flag.Int("workers", 0, "parallel refinement workers (0 = sequential)")
 	pairs := flag.Bool("pairs", false, "print every aligned URI pair")
 	unaligned := flag.Bool("unaligned", false, "print unaligned URIs per side")
 	deltaFlag := flag.Bool("delta", false, "print the change description (retained/removed/added triples)")
@@ -37,7 +49,36 @@ func main() {
 	fmt.Printf("source: %s\n", rdfalign.GatherStats(g1))
 	fmt.Printf("target: %s\n", rdfalign.GatherStats(g2))
 
-	a, err := rdfalign.Align(g1, g2, rdfalign.Options{Method: m, Theta: *theta})
+	opts := []rdfalign.Option{rdfalign.WithMethod(m), rdfalign.WithTheta(*theta)}
+	if *contextual {
+		opts = append(opts, rdfalign.WithContextual())
+	}
+	if *adaptive {
+		opts = append(opts, rdfalign.WithAdaptive())
+	}
+	if *keys != "" {
+		opts = append(opts, rdfalign.WithKeyPredicates(strings.Split(*keys, ",")...))
+	}
+	if *workers != 0 {
+		opts = append(opts, rdfalign.WithParallelism(*workers))
+	}
+	if *progress {
+		opts = append(opts, rdfalign.WithProgress(func(p rdfalign.Progress) {
+			fmt.Fprintf(os.Stderr, "rdfalign: %s round %d\n", p.Stage, p.Round)
+		}))
+	}
+	al, err := rdfalign.NewAligner(opts...)
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	a, err := al.Align(ctx, g1, g2)
 	if err != nil {
 		fatal(err)
 	}

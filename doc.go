@@ -27,12 +27,39 @@
 //
 // # Quick start
 //
+// An Aligner is a reusable session: configure it once with functional
+// options, then align any number of graph pairs under a context. Every
+// long-running fixpoint checks the context once per round, so a cancelled
+// or expired context aborts the alignment promptly with ctx.Err(); the
+// optional progress hook observes each round as it completes.
+//
 //	g1, _ := rdfalign.ParseNTriples(f1, "v1")
 //	g2, _ := rdfalign.ParseNTriples(f2, "v2")
-//	a, _ := rdfalign.Align(g1, g2, rdfalign.Options{Method: rdfalign.Overlap})
+//	al, _ := rdfalign.NewAligner(
+//		rdfalign.WithMethod(rdfalign.Overlap),
+//		rdfalign.WithTheta(0.65),
+//		rdfalign.WithProgress(func(p rdfalign.Progress) {
+//			log.Printf("%s round %d", p.Stage, p.Round)
+//		}),
+//	)
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+//	defer cancel()
+//	a, err := al.Align(ctx, g1, g2)
+//	if err != nil { // includes ctx.Err() on cancellation
+//		log.Fatal(err)
+//	}
 //	a.Pairs(func(n1, n2 rdfalign.NodeID) {
 //		fmt.Println(g1.Label(n1), "≈", g2.Label(n2))
 //	})
+//
+// Every result implements the Relation interface
+// (Aligned/Distance/MatchesOf/Pairs/Unaligned), whether it is backed by a
+// partition (Trivial, Deblank, Hybrid, Overlap) or by the σEdit distance
+// (SigmaEdit), so callers treat all methods uniformly. The one-shot
+//
+//	a, _ := rdfalign.Align(g1, g2, rdfalign.Options{Method: rdfalign.Overlap})
+//
+// wrapper remains for callers that need neither cancellation nor progress.
 //
 // The package also ships the paper's complete evaluation apparatus:
 // deterministic generators for the three datasets of Section 5 (an EFO-like

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -27,18 +28,34 @@ func main() {
 		fmt.Printf("v%-2d %s\n", i+1, rdfalign.GatherStats(g))
 	}
 
+	// One session per method, reused across every consecutive version
+	// pair — the Aligner holds the validated configuration; each Align
+	// call gets its own deadline. WithParallelism spreads the refinement
+	// recoloring across the machine's cores.
+	methods := []rdfalign.Method{rdfalign.Trivial, rdfalign.Hybrid, rdfalign.Overlap}
+	sessions := map[rdfalign.Method]*rdfalign.Aligner{}
+	for _, m := range methods {
+		al, err := rdfalign.NewAligner(rdfalign.WithMethod(m), rdfalign.WithParallelism(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sessions[m] = al
+	}
+
 	fmt.Println("\npair   triples(sum)  trivial      hybrid       overlap")
 	for v := 0; v+1 < len(d.Graphs); v++ {
 		g1, g2 := d.Graphs[v], d.Graphs[v+1]
 		sum := g1.NumTriples() + g2.NumTriples()
 
 		times := map[rdfalign.Method]time.Duration{}
-		for _, m := range []rdfalign.Method{rdfalign.Trivial, rdfalign.Hybrid, rdfalign.Overlap} {
+		for _, m := range methods {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 			start := time.Now()
-			if _, err := rdfalign.Align(g1, g2, rdfalign.Options{Method: m}); err != nil {
+			if _, err := sessions[m].Align(ctx, g1, g2); err != nil {
 				log.Fatal(err)
 			}
 			times[m] = time.Since(start)
+			cancel()
 		}
 		fmt.Printf("%d-%-4d %12d  %-11s  %-11s  %s\n", v+1, v+2, sum,
 			times[rdfalign.Trivial].Round(time.Millisecond),

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -57,11 +58,19 @@ func version2() *rdfalign.Graph {
 func main() {
 	g1 := version1()
 	g2 := version2()
+	ctx := context.Background()
 
 	for _, method := range []rdfalign.Method{
 		rdfalign.Trivial, rdfalign.Deblank, rdfalign.Hybrid, rdfalign.SigmaEdit,
 	} {
-		a, err := rdfalign.Align(g1, g2, rdfalign.Options{Method: method, Theta: 0.5})
+		// An Aligner is a reusable session: configure once with
+		// functional options, then align any number of pairs under a
+		// context (cancellable in a real service).
+		al, err := rdfalign.NewAligner(rdfalign.WithMethod(method), rdfalign.WithTheta(0.5))
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, err := al.Align(ctx, g1, g2)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,9 +9,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 	"sort"
+	"time"
 
 	"rdfalign"
 )
@@ -26,7 +29,22 @@ func main() {
 		total += g.NumTriples()
 	}
 
-	a, err := rdfalign.BuildArchive(d.Graphs, rdfalign.ArchiveOptions{})
+	// Archive through an Aligner session: the context bounds the whole
+	// build, and the progress hook reports each archived version.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	al, err := rdfalign.NewAligner(
+		rdfalign.WithMethod(rdfalign.Hybrid),
+		rdfalign.WithProgress(func(p rdfalign.Progress) {
+			if p.Stage == "archive" {
+				fmt.Fprintf(os.Stderr, "archived version %d/%d\n", p.Round, p.Total)
+			}
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := al.BuildArchive(ctx, d.Graphs)
 	if err != nil {
 		log.Fatal(err)
 	}

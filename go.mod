@@ -1,0 +1,3 @@
+module rdfalign
+
+go 1.22

@@ -74,6 +74,19 @@ type BuildOptions struct {
 	Theta float64
 	// Epsilon is the propagation stabilisation threshold.
 	Epsilon float64
+	// Refine selects the recoloring variant for the per-pair hybrid
+	// refinements (the context/adaptive/key extensions); the zero value
+	// is the paper's default outbound recoloring.
+	Refine core.RefineOptions
+	// Workers parallelises refinement recoloring when > 1 (see
+	// core.Engine); <= 1 runs sequentially.
+	Workers int
+	// Hooks threads cancellation and progress through the per-pair
+	// alignments; Build additionally checks the context before each pair
+	// and reports one StageArchive event per archived version (Round is
+	// the 1-based version number, Total the version count). The zero
+	// value disables both.
+	Hooks core.Hooks
 }
 
 // Build archives a sequence of graph versions. Consecutive versions are
@@ -100,10 +113,17 @@ func Build(graphs []*rdf.Graph, opt BuildOptions) (*Archive, error) {
 	for i := range cur {
 		cur[i] = a.newEntity()
 	}
+	if err := opt.Hooks.Err(); err != nil {
+		return nil, err
+	}
 	a.recordVersion(graphs[0], 0, cur)
 	noteURIs(graphs[0], cur, lastSeen)
+	opt.Hooks.Round(core.StageArchive, 1, len(graphs))
 
 	for v := 0; v+1 < len(graphs); v++ {
+		if err := opt.Hooks.Err(); err != nil {
+			return nil, err
+		}
 		g1, g2 := graphs[v], graphs[v+1]
 		part, c, err := alignPair(g1, g2, opt)
 		if err != nil {
@@ -114,6 +134,7 @@ func Build(graphs []*rdf.Graph, opt BuildOptions) (*Archive, error) {
 		a.recordVersion(g2, v+1, next)
 		noteURIs(g2, next, lastSeen)
 		cur = next
+		opt.Hooks.Round(core.StageArchive, v+2, len(graphs))
 	}
 	a.finalise()
 	return a, nil
@@ -130,13 +151,18 @@ func noteURIs(g *rdf.Graph, entity []EntityID, lastSeen map[string]EntityID) {
 func alignPair(g1, g2 *rdf.Graph, opt BuildOptions) (*core.Partition, *rdf.Combined, error) {
 	c := rdf.Union(g1, g2)
 	in := core.NewInterner()
-	hybrid, _ := core.HybridPartition(c, in)
+	eng := &core.Engine{Opt: opt.Refine, Hooks: opt.Hooks, Workers: opt.Workers}
+	hybrid, _, err := eng.Hybrid(c, in)
+	if err != nil {
+		return nil, nil, err
+	}
 	if !opt.UseOverlap {
 		return hybrid, c, nil
 	}
 	res, err := similarity.OverlapAlign(c, hybrid, similarity.OverlapOptions{
 		Theta:   opt.Theta,
 		Epsilon: opt.Epsilon,
+		Hooks:   opt.Hooks,
 	})
 	if err != nil {
 		return nil, nil, err

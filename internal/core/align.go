@@ -42,6 +42,22 @@ func (a *Alignment) Aligned(n1, n2 rdf.NodeID) bool {
 	return true
 }
 
+// Distance returns the node distance the alignment's model assigns to the
+// pair (n1, n2): σ_ξ = ω(n) ⊕ ω(m) within a shared cluster for weighted
+// alignments (§4.3 equation 5), 0/1 (same/different class) for plain
+// partition alignments, and 1 across clusters in both cases.
+func (a *Alignment) Distance(n1, n2 rdf.NodeID) float64 {
+	cn := a.C.FromSource(n1)
+	cm := a.C.FromTarget(n2)
+	if a.P.colors[cn] != a.P.colors[cm] {
+		return 1
+	}
+	if a.W != nil {
+		return OPlus(a.W[cn], a.W[cm])
+	}
+	return 0
+}
+
 // MatchesOf returns the sorted G2 node IDs aligned with the G1 node n1.
 func (a *Alignment) MatchesOf(n1 rdf.NodeID) []rdf.NodeID {
 	var out []rdf.NodeID

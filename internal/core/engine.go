@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"rdfalign/internal/rdf"
+)
+
+// parallelThreshold is the minimum recolor-set size at which the parallel
+// refinement path pays for its coordination overhead.
+const parallelThreshold = 256
+
+// Engine bundles the cross-cutting configuration of one alignment session:
+// the refinement extensions (direction, edge filter, adaptive predicate
+// handling), the cancellation/progress hooks, and the worker count for
+// parallel recoloring. Every fixpoint in the package flows through an
+// Engine; the package-level functions (Refine, DeblankPartition,
+// HybridPartition, RefineWeighted, Propagate and their Opts/Parallel
+// variants) are thin wrappers over suitably configured Engines and keep
+// their historical uncancellable signatures.
+//
+// Engine methods check the hooks' context once per round and return its
+// error as soon as cancellation is observed; with a nil context they never
+// fail. An Engine is immutable after construction and safe for concurrent
+// use.
+type Engine struct {
+	// Opt selects the recoloring variant (§3.3/§5.1/§6 extensions). The
+	// zero value is the paper's default outbound recoloring.
+	Opt RefineOptions
+	// Hooks carries cancellation and per-round progress callbacks.
+	Hooks Hooks
+	// Workers > 1 parallelises recoloring across that many goroutines
+	// when the options permit (the parallel path implements only the
+	// default outbound recoloring); <= 1 runs sequentially.
+	Workers int
+}
+
+// useOpts reports whether recoloring must go through the extended path.
+func (e *Engine) useOpts() bool { return e.Opt.extended() || e.Opt.Filter != nil }
+
+// Refine computes the refinement fixpoint BisimRefine*_X(λ) (Definition 4)
+// under the engine's options, reporting one StageRefine round per iteration
+// and aborting with the context's error on cancellation. See Refine for the
+// stabilisation criterion.
+func (e *Engine) Refine(g *rdf.Graph, p *Partition, x []rdf.NodeID) (*Partition, int, error) {
+	if e.Workers > 1 && !e.useOpts() && len(x) >= parallelThreshold {
+		return e.refineParallel(g, p, x)
+	}
+	cur := p
+	for iter := 0; ; iter++ {
+		if err := e.Hooks.Err(); err != nil {
+			return nil, 0, err
+		}
+		if iter > DefaultMaxIterations {
+			panic(fmt.Sprintf("core: Refine did not stabilise after %d iterations", iter))
+		}
+		var next *Partition
+		if e.useOpts() {
+			next = RefineStepOpts(g, cur, x, e.Opt)
+		} else {
+			next = RefineStep(g, cur, x)
+		}
+		if equivalentColors(cur.colors, next.colors) {
+			return cur, iter, nil
+		}
+		cur = next
+		e.Hooks.Round(StageRefine, iter+1, 0)
+	}
+}
+
+// refineParallel is the worker-pool refinement loop — the shared-memory
+// analogue of the distributed bisimulation the paper points to for scaling
+// (§5.3, citing the MapReduce approach of Schätzle et al. [16]).
+//
+// Each iteration has two phases: gathering and canonicalising every node's
+// outbound color-pair set (embarrassingly parallel, and the dominant cost),
+// then interning the composites in node order (sequential — the interner is
+// single-threaded by design — but a small fraction of the work). Because
+// interning happens in the same order as the sequential engine, the result
+// is identical color-for-color, not merely equivalent.
+func (e *Engine) refineParallel(g *rdf.Graph, p *Partition, x []rdf.NodeID) (*Partition, int, error) {
+	workers := e.Workers
+	// Per-worker arenas hold the gathered pair lists; results record
+	// (prev, arena range) per node. Arenas persist across iterations to
+	// amortise allocation.
+	type gathered struct {
+		prev   Color
+		lo, hi int
+	}
+	results := make([]gathered, len(x))
+	arenas := make([][]ColorPair, workers)
+	chunk := (len(x) + workers - 1) / workers
+
+	cur := p
+	for iter := 0; ; iter++ {
+		if err := e.Hooks.Err(); err != nil {
+			return nil, 0, err
+		}
+		if iter > DefaultMaxIterations {
+			panic(fmt.Sprintf("core: Refine (parallel) did not stabilise after %d iterations", iter))
+		}
+		// Phase 1: parallel gather + canonicalise.
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(x) {
+				hi = len(x)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				arena := arenas[w][:0]
+				for i := lo; i < hi; i++ {
+					n := x[i]
+					start := len(arena)
+					for _, e := range g.Out(n) {
+						arena = append(arena, ColorPair{P: cur.colors[e.P], O: cur.colors[e.O]})
+					}
+					run := arena[start:]
+					sortPairs(run)
+					run = dedupPairs(run)
+					arena = arena[:start+len(run)]
+					results[i] = gathered{prev: cur.colors[n], lo: start, hi: len(arena)}
+				}
+				arenas[w] = arena
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		// Phase 2: sequential interning in node order (pairs arrive
+		// already canonicalised from the gather phase).
+		next := cur.Clone()
+		for i, n := range x {
+			w := i / chunk
+			next.colors[n] = cur.in.compositeCanonical(results[i].prev, arenas[w][results[i].lo:results[i].hi])
+		}
+		if equivalentColors(cur.colors, next.colors) {
+			return cur, iter, nil
+		}
+		cur = next
+		e.Hooks.Round(StageRefine, iter+1, 0)
+	}
+}
+
+// Bisim computes λ_Bisim = BisimRefine*_{N_G}(ℓ_G), which by Proposition 1
+// captures the maximal bisimulation on G.
+func (e *Engine) Bisim(g *rdf.Graph, in *Interner) (*Partition, int, error) {
+	all := make([]rdf.NodeID, g.NumNodes())
+	for i := range all {
+		all[i] = rdf.NodeID(i)
+	}
+	return e.Refine(g, LabelPartition(g, in), all)
+}
+
+// Deblank computes λ_Deblank = BisimRefine*_{Blanks(G)}(ℓ_G) (§3.3):
+// bisimulation refinement restricted to blank nodes, which characterises
+// each blank node by its contents (the URIs and data values reachable from
+// it).
+func (e *Engine) Deblank(g *rdf.Graph, in *Interner) (*Partition, int, error) {
+	var blanks []rdf.NodeID
+	g.Nodes(func(n rdf.NodeID) {
+		if g.IsBlank(n) {
+			blanks = append(blanks, n)
+		}
+	})
+	return e.Refine(g, LabelPartition(g, in), blanks)
+}
+
+// Hybrid computes λ_Hybrid (§3.4): starting from the deblank partition, the
+// colors of unaligned non-literal nodes are reset to the neutral blank
+// color and bisimulation refinement is re-run on exactly those nodes,
+// allowing URIs with different labels (ontology changes) — and blank nodes
+// whose deblank color embedded such URIs — to align. The returned iteration
+// count totals both phases.
+func (e *Engine) Hybrid(c *rdf.Combined, in *Interner) (*Partition, int, error) {
+	deblank, it1, err := e.Deblank(c.Graph, in)
+	if err != nil {
+		return nil, 0, err
+	}
+	p, it2, err := e.HybridFromDeblank(c, deblank)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, it1 + it2, nil
+}
+
+// HybridFromDeblank runs only the second phase of the hybrid construction,
+// for callers that already hold λ_Deblank.
+func (e *Engine) HybridFromDeblank(c *rdf.Combined, deblank *Partition) (*Partition, int, error) {
+	un := UnalignedNonLiterals(c, deblank)
+	blanked := BlankOut(deblank, un)
+	return e.Refine(c.Graph, blanked, un)
+}
+
+// RefineWeighted computes BisimRefine*_X(ξ) (§4.5): weighted refinement
+// iterated until the partition and the weights stabilise (max weight change
+// < eps), reporting one StagePropagate round per iteration. Weighted
+// recoloring always uses the paper's default outbound characterisation; the
+// engine's Opt does not apply. See the package-level RefineWeighted for the
+// convergence argument.
+func (e *Engine) RefineWeighted(g *rdf.Graph, xi *Weighted, x []rdf.NodeID, eps float64) (*Weighted, int, error) {
+	if eps <= 0 {
+		eps = DefaultEpsilon
+	}
+	cur := xi
+	for iter := 0; ; iter++ {
+		if err := e.Hooks.Err(); err != nil {
+			return nil, 0, err
+		}
+		if iter > DefaultMaxIterations {
+			panic(fmt.Sprintf("core: RefineWeighted did not stabilise after %d iterations", iter))
+		}
+		next := RefineWeightedStep(g, cur, x)
+		maxDelta := 0.0
+		for _, n := range x {
+			if d := math.Abs(next.W[n] - cur.W[n]); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		if maxDelta < eps && equivalentColors(cur.P.colors, next.P.colors) {
+			return next, iter + 1, nil
+		}
+		cur = next
+		e.Hooks.Round(StagePropagate, iter+1, 0)
+	}
+}
+
+// Propagate spreads alignment information in ξ to the currently unaligned
+// non-literal nodes (§4.5):
+//
+//	Propagate(ξ) = BisimRefine*_{UN(ξ)}(Blank(ξ, UN(ξ)))
+func (e *Engine) Propagate(c *rdf.Combined, xi *Weighted, eps float64) (*Weighted, int, error) {
+	un := UnalignedNonLiterals(c, xi.P)
+	blanked := BlankOutWeighted(xi, un)
+	return e.RefineWeighted(c.Graph, blanked, un, eps)
+}

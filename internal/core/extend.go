@@ -119,39 +119,22 @@ func RefineStepOpts(g *rdf.Graph, p *Partition, x []rdf.NodeID, opt RefineOption
 // RefineOpts is Refine with direction and filter options: the fixpoint of
 // RefineStepOpts under grouping equivalence.
 func RefineOpts(g *rdf.Graph, p *Partition, x []rdf.NodeID, opt RefineOptions) (*Partition, int) {
-	cur := p
-	for iter := 0; ; iter++ {
-		if iter > DefaultMaxIterations {
-			panic(fmt.Sprintf("core: RefineOpts did not stabilise after %d iterations", iter))
-		}
-		next := RefineStepOpts(g, cur, x, opt)
-		if equivalentColors(cur.colors, next.colors) {
-			return cur, iter
-		}
-		cur = next
-	}
+	q, n, _ := (&Engine{Opt: opt}).Refine(g, p, x)
+	return q, n
 }
 
 // DeblankPartitionOpts is DeblankPartition under the given options —
 // bisimulation refinement of blank nodes that can additionally see their
 // context (incoming edges) or a filtered edge subset.
 func DeblankPartitionOpts(g *rdf.Graph, in *Interner, opt RefineOptions) (*Partition, int) {
-	var blanks []rdf.NodeID
-	g.Nodes(func(n rdf.NodeID) {
-		if g.IsBlank(n) {
-			blanks = append(blanks, n)
-		}
-	})
-	return RefineOpts(g, LabelPartition(g, in), blanks, opt)
+	p, n, _ := (&Engine{Opt: opt}).Deblank(g, in)
+	return p, n
 }
 
 // HybridPartitionOpts is HybridPartition under the given options.
 func HybridPartitionOpts(c *rdf.Combined, in *Interner, opt RefineOptions) (*Partition, int) {
-	deblank, it1 := DeblankPartitionOpts(c.Graph, in, opt)
-	un := UnalignedNonLiterals(c, deblank)
-	blanked := BlankOut(deblank, un)
-	p, it2 := RefineOpts(c.Graph, blanked, un, opt)
-	return p, it1 + it2
+	p, n, _ := (&Engine{Opt: opt}).Hybrid(c, in)
+	return p, n
 }
 
 // PredicateKeyFilter returns an EdgeFilter that keeps only half-edges whose

@@ -1,113 +1,38 @@
 package core
 
 import (
-	"fmt"
 	"runtime"
-	"sync"
 
 	"rdfalign/internal/rdf"
 )
 
 // RefineParallel computes the same fixpoint as Refine with each iteration's
-// recoloring parallelised across workers — the shared-memory analogue of
-// the distributed bisimulation the paper points to for scaling (§5.3,
-// citing the MapReduce approach of Schätzle et al. [16]).
-//
-// Each iteration has two phases: gathering and canonicalising every node's
-// outbound color-pair set (embarrassingly parallel, and the dominant cost),
-// then interning the composites in node order (sequential — the interner is
-// single-threaded by design — but a small fraction of the work). Because
-// interning happens in the same order as the sequential engine, the result
-// is identical color-for-color, not merely equivalent.
+// recoloring parallelised across workers; see Engine.refineParallel for the
+// phase structure and the color-identity guarantee. workers <= 0 selects
+// GOMAXPROCS; with one worker, or fewer than 256 nodes to recolor, the
+// sequential engine is used.
 func RefineParallel(g *rdf.Graph, p *Partition, x []rdf.NodeID, workers int) (*Partition, int) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers == 1 || len(x) < 256 {
-		return Refine(g, p, x)
-	}
-	// Per-worker arenas hold the gathered pair lists; results record
-	// (prev, arena range) per node. Arenas persist across iterations to
-	// amortise allocation.
-	type gathered struct {
-		prev   Color
-		lo, hi int
-	}
-	results := make([]gathered, len(x))
-	arenas := make([][]ColorPair, workers)
-	chunk := (len(x) + workers - 1) / workers
-
-	cur := p
-	for iter := 0; ; iter++ {
-		if iter > DefaultMaxIterations {
-			panic(fmt.Sprintf("core: RefineParallel did not stabilise after %d iterations", iter))
-		}
-		// Phase 1: parallel gather + canonicalise.
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			hi := lo + chunk
-			if hi > len(x) {
-				hi = len(x)
-			}
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				arena := arenas[w][:0]
-				for i := lo; i < hi; i++ {
-					n := x[i]
-					start := len(arena)
-					for _, e := range g.Out(n) {
-						arena = append(arena, ColorPair{P: cur.colors[e.P], O: cur.colors[e.O]})
-					}
-					run := arena[start:]
-					sortPairs(run)
-					run = dedupPairs(run)
-					arena = arena[:start+len(run)]
-					results[i] = gathered{prev: cur.colors[n], lo: start, hi: len(arena)}
-				}
-				arenas[w] = arena
-			}(w, lo, hi)
-		}
-		wg.Wait()
-		// Phase 2: sequential interning in node order (pairs arrive
-		// already canonicalised from the gather phase).
-		next := cur.Clone()
-		for i, n := range x {
-			w := i / chunk
-			next.colors[n] = cur.in.compositeCanonical(results[i].prev, arenas[w][results[i].lo:results[i].hi])
-		}
-		if equivalentColors(cur.colors, next.colors) {
-			return cur, iter
-		}
-		cur = next
-	}
+	q, n, _ := (&Engine{Workers: normalizeWorkers(workers)}).Refine(g, p, x)
+	return q, n
 }
 
-// BisimPartitionParallel is BisimPartition using RefineParallel.
+// BisimPartitionParallel is BisimPartition using parallel refinement.
 func BisimPartitionParallel(g *rdf.Graph, in *Interner, workers int) (*Partition, int) {
-	all := make([]rdf.NodeID, g.NumNodes())
-	for i := range all {
-		all[i] = rdf.NodeID(i)
-	}
-	return RefineParallel(g, LabelPartition(g, in), all, workers)
+	p, n, _ := (&Engine{Workers: normalizeWorkers(workers)}).Bisim(g, in)
+	return p, n
 }
 
 // HybridPartitionParallel is HybridPartition with parallel refinement for
 // both phases.
 func HybridPartitionParallel(c *rdf.Combined, in *Interner, workers int) (*Partition, int) {
-	var blanks []rdf.NodeID
-	c.Nodes(func(n rdf.NodeID) {
-		if c.IsBlank(n) {
-			blanks = append(blanks, n)
-		}
-	})
-	deblank, it1 := RefineParallel(c.Graph, LabelPartition(c.Graph, in), blanks, workers)
-	un := UnalignedNonLiterals(c, deblank)
-	blanked := BlankOut(deblank, un)
-	p, it2 := RefineParallel(c.Graph, blanked, un, workers)
-	return p, it1 + it2
+	p, n, _ := (&Engine{Workers: normalizeWorkers(workers)}).Hybrid(c, in)
+	return p, n
+}
+
+// normalizeWorkers resolves the "use every core" default.
+func normalizeWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
 }

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"rdfalign/internal/rdf"
 )
 
@@ -52,28 +50,20 @@ func RefineStep(g *rdf.Graph, p *Partition, x []rdf.NodeID) *Partition {
 // (paper Example 4: "the depth of the trees may be greater than the number
 // of iterations … for aligned nodes colors from the deblanking alignments
 // are used").
+//
+// Refine and the partition constructors below are uncancellable wrappers
+// over Engine; sessions needing cancellation or progress use an Engine
+// directly.
 func Refine(g *rdf.Graph, p *Partition, x []rdf.NodeID) (*Partition, int) {
-	cur := p
-	for iter := 0; ; iter++ {
-		if iter > DefaultMaxIterations {
-			panic(fmt.Sprintf("core: Refine did not stabilise after %d iterations", iter))
-		}
-		next := RefineStep(g, cur, x)
-		if equivalentColors(cur.colors, next.colors) {
-			return cur, iter
-		}
-		cur = next
-	}
+	q, n, _ := (&Engine{}).Refine(g, p, x)
+	return q, n
 }
 
 // BisimPartition computes λ_Bisim = BisimRefine*_{N_G}(ℓ_G), which by
 // Proposition 1 captures the maximal bisimulation on G.
 func BisimPartition(g *rdf.Graph, in *Interner) (*Partition, int) {
-	all := make([]rdf.NodeID, g.NumNodes())
-	for i := range all {
-		all[i] = rdf.NodeID(i)
-	}
-	return Refine(g, LabelPartition(g, in), all)
+	p, n, _ := (&Engine{}).Bisim(g, in)
+	return p, n
 }
 
 // DeblankPartition computes λ_Deblank = BisimRefine*_{Blanks(G)}(ℓ_G)
@@ -82,13 +72,8 @@ func BisimPartition(g *rdf.Graph, in *Interner) (*Partition, int) {
 // reachable from it). It returns the partition and the number of refinement
 // iterations.
 func DeblankPartition(g *rdf.Graph, in *Interner) (*Partition, int) {
-	var blanks []rdf.NodeID
-	g.Nodes(func(n rdf.NodeID) {
-		if g.IsBlank(n) {
-			blanks = append(blanks, n)
-		}
-	})
-	return Refine(g, LabelPartition(g, in), blanks)
+	p, n, _ := (&Engine{}).Deblank(g, in)
+	return p, n
 }
 
 // HybridPartition computes λ_Hybrid (§3.4): starting from the deblank
@@ -98,15 +83,13 @@ func DeblankPartition(g *rdf.Graph, in *Interner) (*Partition, int) {
 // nodes whose deblank color embedded such URIs — to align. It returns the
 // partition and the total refinement iterations (deblank + hybrid phases).
 func HybridPartition(c *rdf.Combined, in *Interner) (*Partition, int) {
-	deblank, it1 := DeblankPartition(c.Graph, in)
-	p, it2 := HybridFromDeblank(c, deblank)
-	return p, it1 + it2
+	p, n, _ := (&Engine{}).Hybrid(c, in)
+	return p, n
 }
 
 // HybridFromDeblank runs only the second phase of the hybrid construction,
 // for callers that already hold λ_Deblank.
 func HybridFromDeblank(c *rdf.Combined, deblank *Partition) (*Partition, int) {
-	un := UnalignedNonLiterals(c, deblank)
-	blanked := BlankOut(deblank, un)
-	return Refine(c.Graph, blanked, un)
+	p, n, _ := (&Engine{}).HybridFromDeblank(c, deblank)
+	return p, n
 }

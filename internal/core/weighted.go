@@ -1,9 +1,6 @@
 package core
 
 import (
-	"fmt"
-	"math"
-
 	"rdfalign/internal/rdf"
 )
 
@@ -106,26 +103,8 @@ func RefineWeightedStep(g *rdf.Graph, xi *Weighted, x []rdf.NodeID) *Weighted {
 // only increase during refinement, which guarantees convergence; the
 // iteration cap turns any violation of that contract into a panic.
 func RefineWeighted(g *rdf.Graph, xi *Weighted, x []rdf.NodeID, eps float64) (*Weighted, int) {
-	if eps <= 0 {
-		eps = DefaultEpsilon
-	}
-	cur := xi
-	for iter := 0; ; iter++ {
-		if iter > DefaultMaxIterations {
-			panic(fmt.Sprintf("core: RefineWeighted did not stabilise after %d iterations", iter))
-		}
-		next := RefineWeightedStep(g, cur, x)
-		maxDelta := 0.0
-		for _, n := range x {
-			if d := math.Abs(next.W[n] - cur.W[n]); d > maxDelta {
-				maxDelta = d
-			}
-		}
-		if maxDelta < eps && equivalentColors(cur.P.colors, next.P.colors) {
-			return next, iter + 1
-		}
-		cur = next
-	}
+	out, n, _ := (&Engine{}).RefineWeighted(g, xi, x, eps)
+	return out, n
 }
 
 // Propagate spreads alignment information in ξ to the currently unaligned
@@ -137,7 +116,6 @@ func RefineWeighted(g *rdf.Graph, xi *Weighted, x []rdf.NodeID, eps float64) (*W
 // nodes, then refines on exactly those nodes so their identity — and a
 // confidence weight — is rebuilt from their outbound neighbourhoods.
 func Propagate(c *rdf.Combined, xi *Weighted, eps float64) (*Weighted, int) {
-	un := UnalignedNonLiterals(c, xi.P)
-	blanked := BlankOutWeighted(xi, un)
-	return RefineWeighted(c.Graph, blanked, un, eps)
+	out, n, _ := (&Engine{}).Propagate(c, xi, eps)
+	return out, n
 }

@@ -36,6 +36,9 @@ type Config struct {
 	Theta float64
 	// Epsilon is the weight-stabilisation threshold for propagation.
 	Epsilon float64
+	// Hooks threads progress observation through the per-pair alignment
+	// fixpoints (cmd/benchfig -progress); the zero value is silent.
+	Hooks core.Hooks
 }
 
 // DefaultConfig returns the configuration used for EXPERIMENTS.md.
@@ -156,9 +159,16 @@ func (e *Env) pairBase(name string, graphs []*rdf.Graph, i, j int) *pairArtifact
 
 	c := rdf.Union(graphs[i], graphs[j])
 	in := core.NewInterner()
+	eng := &core.Engine{Hooks: e.Cfg.Hooks}
 	trivial := core.TrivialPartition(c.Graph, in)
-	deblank, _ := core.DeblankPartition(c.Graph, in)
-	hybrid, _ := core.HybridFromDeblank(c, deblank)
+	deblank, _, err := eng.Deblank(c.Graph, in)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: deblank on %s (%d,%d): %v", name, i, j, err))
+	}
+	hybrid, _, err := eng.HybridFromDeblank(c, deblank)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: hybrid on %s (%d,%d): %v", name, i, j, err))
+	}
 	a := &pairArtifacts{c: c, trivial: trivial, deblank: deblank, hybrid: hybrid}
 	e.mu.Lock()
 	e.pairCache[key] = a
@@ -178,6 +188,7 @@ func (e *Env) pair(name string, graphs []*rdf.Graph, i, j int) *pairArtifacts {
 	overlap, err := similarity.OverlapAlign(a.c, a.hybrid, similarity.OverlapOptions{
 		Theta:   e.Cfg.Theta,
 		Epsilon: e.Cfg.Epsilon,
+		Hooks:   e.Cfg.Hooks,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: overlap alignment failed on %s (%d,%d): %v", name, i, j, err))

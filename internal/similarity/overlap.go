@@ -22,6 +22,12 @@ type OverlapOptions struct {
 	// because every round with a non-empty H strictly shrinks the
 	// unaligned sets, so the cap only guards against bugs. Default 1000.
 	MaxRounds int
+	// Hooks threads cancellation and progress through the loop: the
+	// context is checked once per round, once per propagation round
+	// inside it, and once per source node inside each matching phase;
+	// a StageOverlap event is reported after each round. The zero value
+	// disables both.
+	Hooks core.Hooks
 }
 
 // DefaultTheta is the threshold used throughout the paper's evaluation.
@@ -69,24 +75,38 @@ func OverlapAlign(c *rdf.Combined, hybrid *core.Partition, opt OverlapOptions) (
 	xi := core.NewWeighted(hybrid.Clone())
 	// Lines 2–4: initial literal matching.
 	a0, b0 := unalignedLiterals(c, xi.P)
-	h := OverlapMatch(a0, b0, opt.Theta, func(n rdf.NodeID) []string {
+	h, err := OverlapMatchHooks(a0, b0, opt.Theta, func(n rdf.NodeID) []string {
 		return Split(c.Label(n).Value)
 	}, func(n, m rdf.NodeID) (float64, bool) {
 		return strdist.WithinThreshold(c.Label(n).Value, c.Label(m).Value, opt.Theta)
-	})
+	}, opt.Hooks)
+	if err != nil {
+		return nil, err
+	}
 	res.LiteralPairs = len(h.Edges)
 
 	// Lines 5–12.
+	eng := &core.Engine{Hooks: opt.Hooks}
 	for {
+		if err := opt.Hooks.Err(); err != nil {
+			return nil, err
+		}
 		res.Rounds++
 		if res.Rounds > opt.MaxRounds {
 			return nil, fmt.Errorf("similarity: overlap alignment did not terminate after %d rounds", opt.MaxRounds)
 		}
-		next, _ := core.Propagate(c, Enrich(xi, h), opt.Epsilon)
+		next, _, err := eng.Propagate(c, Enrich(xi, h), opt.Epsilon)
+		if err != nil {
+			return nil, err
+		}
 		xi = next
 		ai, bi := unalignedNonLiteralsBySide(c, xi.P)
-		h = matchNonLiterals(c, xi, ai, bi, opt.Theta)
+		h, err = matchNonLiterals(c, xi, ai, bi, opt.Theta, opt.Hooks)
+		if err != nil {
+			return nil, err
+		}
 		res.NonLiteralPairs += len(h.Edges)
+		opt.Hooks.Round(core.StageOverlap, res.Rounds, 0)
 		if !h.HasEdges() {
 			break
 		}
@@ -156,13 +176,13 @@ func OutColors(c *rdf.Combined, p *core.Partition, n rdf.NodeID) []uint64 {
 
 // matchNonLiterals runs OverlapMatch over unaligned non-literal nodes with
 // the out-color characterisation and the σNL distance.
-func matchNonLiterals(c *rdf.Combined, xi *core.Weighted, a, b []rdf.NodeID, theta float64) *WeightedBipartite {
-	return OverlapMatch(a, b, theta, func(n rdf.NodeID) []uint64 {
+func matchNonLiterals(c *rdf.Combined, xi *core.Weighted, a, b []rdf.NodeID, theta float64, hooks core.Hooks) (*WeightedBipartite, error) {
+	return OverlapMatchHooks(a, b, theta, func(n rdf.NodeID) []uint64 {
 		return OutColors(c, xi.P, n)
 	}, func(n, m rdf.NodeID) (float64, bool) {
 		d := NLDistance(c, xi, n, m)
 		return d, d < theta
-	})
+	}, hooks)
 }
 
 // nlEdge is one outbound edge annotated with its color key and weight for

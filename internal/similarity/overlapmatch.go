@@ -79,9 +79,18 @@ type DistFunc func(a, b rdf.NodeID) (float64, bool)
 //
 // The output is deterministic: edges are sorted by (A, B).
 func OverlapMatch[O comparable](a, b []rdf.NodeID, theta float64, char func(rdf.NodeID) []O, dist DistFunc) *WeightedBipartite {
+	h, _ := OverlapMatchHooks(a, b, theta, char, dist, core.Hooks{})
+	return h
+}
+
+// OverlapMatchHooks is OverlapMatch with cancellation: the matching phase
+// can dominate a round's cost (it runs edit-distance verification over the
+// candidate pairs), so the hooks' context is checked once per source node
+// and the scan aborts with the context's error.
+func OverlapMatchHooks[O comparable](a, b []rdf.NodeID, theta float64, char func(rdf.NodeID) []O, dist DistFunc, hooks core.Hooks) (*WeightedBipartite, error) {
 	h := &WeightedBipartite{A: a, B: b}
 	if len(a) == 0 || len(b) == 0 {
-		return h
+		return h, nil
 	}
 	// Lines 1–6: inverted index and frequency counts over B.
 	inv := make(map[O][]rdf.NodeID)
@@ -97,6 +106,9 @@ func OverlapMatch[O comparable](a, b []rdf.NodeID, theta float64, char func(rdf.
 	seen := make(map[rdf.NodeID]int) // candidate stamp per a-node iteration
 	stamp := 0
 	for _, n := range a {
+		if err := hooks.Err(); err != nil {
+			return nil, err
+		}
 		stamp++
 		objs := dedup(char(n))
 		k := len(objs)
@@ -136,7 +148,7 @@ func OverlapMatch[O comparable](a, b []rdf.NodeID, theta float64, char func(rdf.
 		}
 		return h.Edges[i].B < h.Edges[j].B
 	})
-	return h
+	return h, nil
 }
 
 // prefixLen computes the number of least-frequent characterising objects to

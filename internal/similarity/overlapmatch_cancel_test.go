@@ -1,0 +1,33 @@
+package similarity
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"rdfalign/internal/core"
+	"rdfalign/internal/rdf"
+)
+
+// TestOverlapMatchHooksCancellation: the matching scan itself observes a
+// cancelled context, so a long verification phase cannot overshoot a
+// deadline by more than one source node.
+func TestOverlapMatchHooksCancellation(t *testing.T) {
+	a := []rdf.NodeID{0, 1}
+	b := []rdf.NodeID{2, 3}
+	char := func(n rdf.NodeID) []string { return []string{"x"} }
+	dist := func(n, m rdf.NodeID) (float64, bool) { return 0, true }
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	h, err := OverlapMatchHooks(a, b, 0.5, char, dist, core.Hooks{Ctx: ctx})
+	if h != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("OverlapMatchHooks = %v, %v; want nil, context.Canceled", h, err)
+	}
+
+	// Zero hooks: same scan succeeds and finds the pairs.
+	h, err = OverlapMatchHooks(a, b, 0.5, char, dist, core.Hooks{})
+	if err != nil || len(h.Edges) != 4 {
+		t.Fatalf("uncancelled scan = %v edges, %v; want 4, nil", len(h.Edges), err)
+	}
+}

@@ -25,6 +25,10 @@ type SigmaEditOptions struct {
 	// warns about: NewSigmaEdit fails if the unaligned non-literal pair
 	// matrix would exceed this many entries. Default 4,000,000.
 	MaxPairs int
+	// Hooks threads cancellation and progress through the propagation:
+	// the context is checked once per matrix row, and a StageSigmaEdit
+	// event is reported after each round. The zero value disables both.
+	Hooks core.Hooks
 }
 
 // DefaultMaxPairs bounds the σEdit pair matrix (the method is the expensive
@@ -88,7 +92,9 @@ func NewSigmaEdit(c *rdf.Combined, hybrid *core.Partition, opt SigmaEditOptions)
 		s.idx2[n] = i
 	}
 	s.dist = make([]float64, len(s.nl1)*len(s.nl2))
-	s.propagate(opt.Epsilon)
+	if err := s.propagate(opt.Epsilon, opt.Hooks); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -148,10 +154,12 @@ func (s *SigmaEdit) unaligned(n rdf.NodeID) bool {
 // propagate runs the fixpoint iteration: starting from the all-zero matrix,
 // each round recomputes every unaligned non-literal pair's distance as the
 // optimal matching over their outbound edges; entries increase monotonically
-// and are bounded by 1, so the iteration converges.
-func (s *SigmaEdit) propagate(eps float64) {
+// and are bounded by 1, so the iteration converges. Rounds are quadratic in
+// the unaligned node counts, so cancellation is checked per matrix row, not
+// just per round.
+func (s *SigmaEdit) propagate(eps float64, hooks core.Hooks) error {
 	if len(s.nl1) == 0 || len(s.nl2) == 0 {
-		return
+		return nil
 	}
 	next := make([]float64, len(s.dist))
 	for {
@@ -161,6 +169,9 @@ func (s *SigmaEdit) propagate(eps float64) {
 		}
 		maxDelta := 0.0
 		for i, n := range s.nl1 {
+			if err := hooks.Err(); err != nil {
+				return err
+			}
 			for j, m := range s.nl2 {
 				d := s.matchCost(n, m)
 				k := i*len(s.nl2) + j
@@ -171,8 +182,9 @@ func (s *SigmaEdit) propagate(eps float64) {
 			}
 		}
 		s.dist, next = next, s.dist
+		hooks.Round(core.StageSigmaEdit, s.iters, 0)
 		if maxDelta < eps {
-			return
+			return nil
 		}
 	}
 }

@@ -1,12 +1,12 @@
 package rdfalign
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"rdfalign/internal/core"
 	"rdfalign/internal/rdf"
-	"rdfalign/internal/similarity"
 )
 
 // Re-exported data model types (see internal/rdf for full documentation).
@@ -145,113 +145,65 @@ type Options struct {
 // Alignment is the result of Align: a relation between the nodes of the
 // source and target graphs. Nodes are addressed by their per-graph NodeIDs
 // (as returned by the builders/parsers) or by URI via the *URI helpers.
+// Every relational accessor delegates to the Relation backing the method
+// that produced the alignment; Relation exposes it directly.
 type Alignment struct {
 	// Method and Theta echo the options used.
 	Method Method
 	Theta  float64
 
-	c     *rdf.Combined
-	part  *core.Partition // partition backing (all methods except SigmaEdit)
-	inner *core.Alignment // partition/weighted alignment
-	sigma *similarity.SigmaEdit
+	c    *rdf.Combined
+	part *core.Partition // partition underlying rel (hybrid base for SigmaEdit)
+	rel  Relation
 
 	// Diagnostics.
 	refineIterations int
 	overlapRounds    int
 }
 
-// Align aligns a source and a target graph.
+// Align aligns a source and a target graph. It is the uncancellable legacy
+// entry point, equivalent to NewAligner(opt.options()...) followed by
+// Align(context.Background(), g1, g2); services that need cancellation,
+// progress reporting or session reuse use NewAligner directly.
 func Align(g1, g2 *Graph, opt Options) (*Alignment, error) {
-	if opt.Theta == 0 {
-		opt.Theta = similarity.DefaultTheta
+	al, err := NewAligner(opt.options()...)
+	if err != nil {
+		return nil, err
 	}
-	if opt.Theta < 0 || opt.Theta > 1 {
-		return nil, fmt.Errorf("rdfalign: theta %v outside [0, 1]", opt.Theta)
-	}
-	c := rdf.Union(g1, g2)
-	in := core.NewInterner()
-	a := &Alignment{Method: opt.Method, Theta: opt.Theta, c: c}
-	refineOpts, customRefine := refinementOptions(opt)
-	switch opt.Method {
-	case Trivial:
-		a.part = core.TrivialPartition(c.Graph, in)
-	case Deblank:
-		if customRefine {
-			a.part, a.refineIterations = core.DeblankPartitionOpts(c.Graph, in, refineOpts)
-		} else {
-			a.part, a.refineIterations = core.DeblankPartition(c.Graph, in)
-		}
-	case Hybrid:
-		if customRefine {
-			a.part, a.refineIterations = core.HybridPartitionOpts(c, in, refineOpts)
-		} else {
-			a.part, a.refineIterations = core.HybridPartition(c, in)
-		}
-	case Overlap:
-		hybrid, iters := hybridBase(c, in, refineOpts, customRefine)
-		a.refineIterations = iters
-		res, err := similarity.OverlapAlign(c, hybrid, similarity.OverlapOptions{
-			Theta:   opt.Theta,
-			Epsilon: opt.Epsilon,
-		})
-		if err != nil {
-			return nil, err
-		}
-		a.part = res.Xi.P
-		a.overlapRounds = res.Rounds
-		a.inner = res.Alignment(c)
-	case SigmaEdit:
-		hybrid, iters := hybridBase(c, in, refineOpts, customRefine)
-		a.refineIterations = iters
-		a.part = hybrid
-		s, err := similarity.NewSigmaEdit(c, hybrid, similarity.SigmaEditOptions{
-			Epsilon:  opt.Epsilon,
-			MaxPairs: opt.MaxSigmaEditPairs,
-		})
-		if err != nil {
-			return nil, err
-		}
-		a.sigma = s
-	default:
-		return nil, fmt.Errorf("rdfalign: unknown method %v", opt.Method)
-	}
-	if a.inner == nil && a.sigma == nil {
-		a.inner = core.NewAlignment(c, a.part)
-	}
-	return a, nil
+	return al.Align(context.Background(), g1, g2)
 }
 
-// hybridBase computes the hybrid partition the similarity methods refine,
-// honouring any active extension options.
-func hybridBase(c *rdf.Combined, in *core.Interner, ro core.RefineOptions, custom bool) (*core.Partition, int) {
-	if custom {
-		return core.HybridPartitionOpts(c, in, ro)
+// options translates the legacy Options struct into the equivalent
+// functional options.
+func (o Options) options() []Option {
+	opts := []Option{WithMethod(o.Method)}
+	if o.Theta != 0 {
+		opts = append(opts, WithTheta(o.Theta))
 	}
-	return core.HybridPartition(c, in)
-}
-
-// refinementOptions translates the public extension options into core
-// refinement options; the boolean reports whether any extension is active.
-func refinementOptions(opt Options) (core.RefineOptions, bool) {
-	var ro core.RefineOptions
-	active := false
-	if opt.Context {
-		ro.Direction = core.DirBoth
-		active = true
+	if o.Epsilon != 0 {
+		opts = append(opts, WithEpsilon(o.Epsilon))
 	}
-	if opt.Adaptive {
-		ro.Adaptive = true
-		active = true
+	if o.MaxSigmaEditPairs != 0 {
+		opts = append(opts, WithMaxSigmaEditPairs(o.MaxSigmaEditPairs))
 	}
-	if len(opt.KeyPredicates) > 0 {
-		ro.Filter = core.PredicateKeyFilter(opt.KeyPredicates...)
-		active = true
+	if o.Context {
+		opts = append(opts, WithContextual())
 	}
-	return ro, active
+	if o.Adaptive {
+		opts = append(opts, WithAdaptive())
+	}
+	if len(o.KeyPredicates) > 0 {
+		opts = append(opts, WithKeyPredicates(o.KeyPredicates...))
+	}
+	return opts
 }
 
 // Combined returns the union graph the alignment was computed on.
 func (a *Alignment) Combined() *Combined { return a.c }
+
+// Relation returns the relation backing the alignment: partition-backed for
+// Trivial, Deblank, Hybrid and Overlap, σEdit-backed for SigmaEdit.
+func (a *Alignment) Relation() Relation { return a.rel }
 
 // RefineIterations reports how many partition-refinement iterations ran.
 func (a *Alignment) RefineIterations() int { return a.refineIterations }
@@ -262,48 +214,15 @@ func (a *Alignment) OverlapRounds() int { return a.overlapRounds }
 
 // Aligned reports whether source node n1 (a G1 node ID) is aligned with
 // target node n2 (a G2 node ID).
-func (a *Alignment) Aligned(n1, n2 NodeID) bool {
-	if a.sigma != nil {
-		// Align_θ(σ) uses σ(n, m) ≤ θ (§4.1).
-		return a.sigma.Distance(a.c.FromSource(n1), a.c.FromTarget(n2)) <= a.Theta
-	}
-	return a.inner.Aligned(n1, n2)
-}
+func (a *Alignment) Aligned(n1, n2 NodeID) bool { return a.rel.Aligned(n1, n2) }
 
 // Distance returns the distance the alignment's underlying model assigns to
 // the pair: σEdit for SigmaEdit, the weighted-partition distance σ_ξ for
 // Overlap, and 0/1 (aligned/unaligned) for the partition methods.
-func (a *Alignment) Distance(n1, n2 NodeID) float64 {
-	cn, cm := a.c.FromSource(n1), a.c.FromTarget(n2)
-	switch {
-	case a.sigma != nil:
-		return a.sigma.Distance(cn, cm)
-	case a.inner.W != nil:
-		if a.part.Color(cn) != a.part.Color(cm) {
-			return 1
-		}
-		return core.OPlus(a.inner.W[cn], a.inner.W[cm])
-	default:
-		if a.part.Color(cn) == a.part.Color(cm) {
-			return 0
-		}
-		return 1
-	}
-}
+func (a *Alignment) Distance(n1, n2 NodeID) float64 { return a.rel.Distance(n1, n2) }
 
 // MatchesOf returns the target node IDs aligned with source node n1.
-func (a *Alignment) MatchesOf(n1 NodeID) []NodeID {
-	if a.sigma != nil {
-		var out []NodeID
-		for j := 0; j < a.c.N2; j++ {
-			if a.Aligned(n1, NodeID(j)) {
-				out = append(out, NodeID(j))
-			}
-		}
-		return out
-	}
-	return a.inner.MatchesOf(n1)
-}
+func (a *Alignment) MatchesOf(n1 NodeID) []NodeID { return a.rel.MatchesOf(n1) }
 
 // MatchesOfURI returns the target URIs aligned with the given source URI.
 func (a *Alignment) MatchesOfURI(uri string) []string {
@@ -324,24 +243,12 @@ func (a *Alignment) MatchesOfURI(uri string) []string {
 
 // Pairs visits every aligned pair in sorted order. For SigmaEdit this
 // enumerates the quadratic pair space; prefer Aligned/MatchesOf there.
-func (a *Alignment) Pairs(f func(n1, n2 NodeID)) {
-	if a.sigma != nil {
-		for i := 0; i < a.c.N1; i++ {
-			for j := 0; j < a.c.N2; j++ {
-				if a.Aligned(NodeID(i), NodeID(j)) {
-					f(NodeID(i), NodeID(j))
-				}
-			}
-		}
-		return
-	}
-	a.inner.Pairs(f)
-}
+func (a *Alignment) Pairs(f func(n1, n2 NodeID)) { a.rel.Pairs(f) }
 
 // PairCount returns the number of aligned pairs.
 func (a *Alignment) PairCount() int {
 	n := 0
-	a.Pairs(func(_, _ NodeID) { n++ })
+	a.rel.Pairs(func(_, _ NodeID) { n++ })
 	return n
 }
 
@@ -369,36 +276,14 @@ func (a *Alignment) EdgeStats() EdgeStats {
 }
 
 // AlignedEntityCount returns the number of clusters containing nodes of
-// both versions — the duplicate-free aligned entity count of Figure 13.
-// With onlyURIs set, only clusters containing a URI node are counted.
+// both versions — the duplicate-free aligned entity count of Figure 13
+// (for SigmaEdit, which defines no clusters, the count of source nodes with
+// at least one match). With onlyURIs set, only entities involving a URI
+// node are counted.
 func (a *Alignment) AlignedEntityCount(onlyURIs bool) int {
-	if a.sigma != nil {
-		// σEdit does not define clusters; count source URIs with at
-		// least one match instead.
-		count := 0
-		for i := 0; i < a.c.N1; i++ {
-			n := NodeID(i)
-			if onlyURIs && !a.c.SourceGraph().IsURI(n) {
-				continue
-			}
-			if len(a.MatchesOf(n)) > 0 {
-				count++
-			}
-		}
-		return count
-	}
-	return core.NewAlignment(a.c, a.part).AlignedEntityCount(onlyURIs)
+	return a.rel.AlignedEntityCount(onlyURIs)
 }
 
 // Unaligned returns the source and target node IDs (per-graph) left
 // unaligned by the alignment's partition.
-func (a *Alignment) Unaligned() (src, tgt []NodeID) {
-	un1, un2 := core.Unaligned(a.c, a.part)
-	for _, n := range un1 {
-		src = append(src, a.c.ToSource(n))
-	}
-	for _, n := range un2 {
-		tgt = append(tgt, a.c.ToTarget(n))
-	}
-	return src, tgt
-}
+func (a *Alignment) Unaligned() (src, tgt []NodeID) { return a.rel.Unaligned() }
