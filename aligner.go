@@ -49,9 +49,12 @@ func WithMethod(m Method) Option {
 	return func(c *alignerConfig) { c.method = m }
 }
 
-// WithTheta sets the similarity threshold θ for Overlap and SigmaEdit.
-// Zero selects the default 0.65 (the paper's evaluation setting), matching
-// the legacy Options.Theta semantics.
+// WithTheta sets the similarity threshold θ ∈ (0, 1] for Overlap and
+// SigmaEdit. Zero selects the default 0.65 (the paper's evaluation
+// setting), matching the legacy Options.Theta semantics; any other value
+// outside (0, 1] makes NewAligner fail. The accepted range, the zero-value
+// semantics and the error wording are shared with the similarity layer
+// (similarity.ValidateTheta).
 func WithTheta(theta float64) Option {
 	return func(c *alignerConfig) { c.theta = theta }
 }
@@ -105,10 +108,13 @@ func WithProgress(f ProgressFunc) Option {
 
 // WithParallelism parallelises partition recoloring across the given number
 // of goroutines (the shared-memory analogue of the distributed bisimulation
-// the paper points to in §5.3). workers <= 0 selects GOMAXPROCS. The
-// parallel path covers the paper's default outbound recoloring; with
-// WithContextual, WithAdaptive or WithKeyPredicates active, refinement runs
-// sequentially. Results are identical to the sequential engine either way.
+// the paper points to in §5.3). workers == 1 runs sequentially; workers <=
+// 0 selects GOMAXPROCS — callers exposing a "0 means sequential" knob (like
+// cmd/rdfalign's -workers flag) must therefore not call WithParallelism for
+// non-positive values. The parallel path covers the paper's default
+// outbound recoloring; with WithContextual, WithAdaptive or
+// WithKeyPredicates active, refinement runs sequentially. Results are
+// identical to the sequential engine either way.
 func WithParallelism(workers int) Option {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -134,8 +140,8 @@ func NewAligner(opts ...Option) (*Aligner, error) {
 	if cfg.theta == 0 {
 		cfg.theta = similarity.DefaultTheta
 	}
-	if cfg.theta < 0 || cfg.theta > 1 {
-		return nil, fmt.Errorf("rdfalign: theta %v outside [0, 1]", cfg.theta)
+	if err := similarity.ValidateTheta(cfg.theta); err != nil {
+		return nil, fmt.Errorf("rdfalign: %w", err)
 	}
 	switch cfg.method {
 	case Trivial, Deblank, Hybrid, Overlap, SigmaEdit:

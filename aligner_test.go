@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
 	"rdfalign/internal/core"
+	"rdfalign/internal/similarity"
 )
 
 var allMethods = []Method{Trivial, Deblank, Hybrid, Overlap, SigmaEdit}
@@ -102,6 +104,39 @@ func TestNewAlignerValidation(t *testing.T) {
 	}
 	if al, err := NewAligner(); err != nil || al == nil {
 		t.Errorf("zero-option aligner: %v, %v", al, err)
+	}
+}
+
+// TestThetaValidationUnified: NewAligner and similarity.OverlapAlign accept
+// the same θ range (0, 1], treat zero as "use the default" identically, and
+// reject out-of-range values with the same wording — the layers used to
+// disagree on [0, 1] vs (0, 1] and on whether θ = 0 was an error.
+func TestThetaValidationUnified(t *testing.T) {
+	g1, g2 := parseFig1(t)
+	for _, bad := range []float64{-0.1, 1.5} {
+		_, alignerErr := NewAligner(WithTheta(bad))
+		if alignerErr == nil {
+			t.Fatalf("NewAligner accepted theta %v", bad)
+		}
+		if want := "outside (0, 1]"; !strings.Contains(alignerErr.Error(), want) {
+			t.Errorf("NewAligner(theta=%v) error %q does not name the accepted range %q",
+				bad, alignerErr, want)
+		}
+		// The aligner reports the similarity layer's message verbatim
+		// behind its package prefix, so the layers cannot drift apart.
+		if want := "rdfalign: " + similarity.ValidateTheta(bad).Error(); alignerErr.Error() != want {
+			t.Errorf("NewAligner(theta=%v) error %q, want %q", bad, alignerErr, want)
+		}
+	}
+	// θ = 0 selects the default at both layers rather than erroring.
+	for _, m := range []Method{Overlap, SigmaEdit} {
+		a, err := Align(g1, g2, Options{Method: m, Theta: 0})
+		if err != nil {
+			t.Fatalf("%s: theta 0 rejected: %v", m, err)
+		}
+		if a.Theta != 0.65 {
+			t.Errorf("%s: theta 0 resolved to %v, want the 0.65 default", m, a.Theta)
+		}
 	}
 }
 

@@ -11,10 +11,13 @@ package rdfalign
 // scale (and beyond, with -scale).
 
 import (
+	"strconv"
 	"sync"
 	"testing"
 
+	"rdfalign/internal/core"
 	"rdfalign/internal/experiments"
+	"rdfalign/internal/rdf"
 )
 
 // benchConfig is a reduced-scale configuration for the figure benchmarks.
@@ -192,6 +195,144 @@ func BenchmarkArchiveExperiment(b *testing.B) {
 			b.Fatal("empty archive experiment")
 		}
 	}
+}
+
+// Refinement-engine micro-benchmarks: every BenchmarkRefine* workload runs
+// under both evaluation strategies — the full-recolor reference
+// (core.Engine.FullRecolor) and the default incremental worklist — so the
+// speedup of dirty-frontier recoloring is measured directly. The CI smoke
+// step runs these with -benchtime=1x; BENCH_refine.json records a
+// baseline-vs-worklist comparison.
+
+// benchRefineEngines runs one workload under the full-recolor reference and
+// the worklist engine as sub-benchmarks.
+func benchRefineEngines(b *testing.B, run func(e *core.Engine) error) {
+	for _, cfg := range []struct {
+		name string
+		eng  core.Engine
+	}{
+		{"full", core.Engine{FullRecolor: true}},
+		{"worklist", core.Engine{}},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := run(&cfg.eng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// refineChainGraph builds a chain of n blank nodes ending in a URI — the
+// deepest possible fixpoint (one node stabilises per round), where the
+// full-recolor engine pays O(n) recolors per round for O(n) rounds while
+// the worklist's frontier stays O(1).
+func refineChainGraph(n int) *rdf.Graph {
+	b := rdf.NewBuilder("refine-chain")
+	p := b.URI("p")
+	prev := b.URI("end")
+	for i := 0; i < n; i++ {
+		cur := b.FreshBlank()
+		b.Triple(cur, p, prev)
+		prev = cur
+	}
+	return b.MustGraph()
+}
+
+func BenchmarkRefineDeblankChain(b *testing.B) {
+	g := refineChainGraph(1500)
+	benchRefineEngines(b, func(e *core.Engine) error {
+		_, _, err := e.Deblank(g, core.NewInterner())
+		return err
+	})
+}
+
+// refineWideDeepGraph is the workload the worklist engine exists for: a
+// wide region of nWide blank nodes that stabilises after the first round
+// next to a deep chain of nDeep blanks that needs nDeep rounds. The
+// full-recolor engine recolors all nWide+nDeep nodes for nDeep rounds; the
+// worklist's frontier drops to the chain suffix after round one.
+func refineWideDeepGraph(nWide, nDeep int) *rdf.Graph {
+	b := rdf.NewBuilder("refine-wide-deep")
+	p := b.URI("p")
+	q := b.URI("q")
+	var lits []rdf.NodeID
+	for i := 0; i < 200; i++ {
+		lits = append(lits, b.Literal("leaf"+strconv.Itoa(i)))
+	}
+	for i := 0; i < nWide; i++ {
+		n := b.FreshBlank()
+		b.Triple(n, p, lits[i%len(lits)])
+		b.Triple(n, q, lits[(i*7)%len(lits)])
+	}
+	prev := b.URI("end")
+	for i := 0; i < nDeep; i++ {
+		cur := b.FreshBlank()
+		b.Triple(cur, p, prev)
+		prev = cur
+	}
+	return b.MustGraph()
+}
+
+func BenchmarkRefineDeblankWideDeep(b *testing.B) {
+	g := refineWideDeepGraph(20000, 500)
+	benchRefineEngines(b, func(e *core.Engine) error {
+		_, _, err := e.Deblank(g, core.NewInterner())
+		return err
+	})
+}
+
+func BenchmarkRefinePropagateWideDeep(b *testing.B) {
+	// The weighted counterpart: two structurally identical wide-deep
+	// versions, propagation rebuilding every blank's identity and weight.
+	c := rdf.Union(refineWideDeepGraph(5000, 300), refineWideDeepGraph(5000, 300))
+	benchRefineEngines(b, func(e *core.Engine) error {
+		xi := core.NewWeighted(core.TrivialPartition(c.Graph, core.NewInterner()))
+		_, _, err := e.Propagate(c, xi, 0)
+		return err
+	})
+}
+
+func BenchmarkRefineHybridGtoPdb(b *testing.B) {
+	d, err := GenerateGtoPdb(GtoPdbConfig{Versions: 2, Scale: 0.008, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := rdf.Union(d.Graphs[0], d.Graphs[1])
+	benchRefineEngines(b, func(e *core.Engine) error {
+		_, _, err := e.Hybrid(c, core.NewInterner())
+		return err
+	})
+}
+
+func BenchmarkRefineHybridEFO(b *testing.B) {
+	d, err := GenerateEFO(EFOConfig{Versions: 2, Scale: 0.02, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := rdf.Union(d.Graphs[0], d.Graphs[1])
+	benchRefineEngines(b, func(e *core.Engine) error {
+		_, _, err := e.Hybrid(c, core.NewInterner())
+		return err
+	})
+}
+
+func BenchmarkRefinePropagateGtoPdb(b *testing.B) {
+	// Propagate((λTrivial, 0)) — the §4.5 identity workload — iterates
+	// weighted refinement over every initially-unaligned non-literal.
+	d, err := GenerateGtoPdb(GtoPdbConfig{Versions: 2, Scale: 0.008, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := rdf.Union(d.Graphs[0], d.Graphs[1])
+	benchRefineEngines(b, func(e *core.Engine) error {
+		xi := core.NewWeighted(core.TrivialPartition(c.Graph, core.NewInterner()))
+		_, _, err := e.Propagate(c, xi, 0)
+		return err
+	})
 }
 
 // Per-method micro-benchmarks on one consecutive GtoPdb pair, timing the

@@ -29,7 +29,7 @@ func main() {
 	keys := flag.String("keys", "", "comma-separated predicate URIs restricting refinement (graph keys, §6)")
 	timeout := flag.Duration("timeout", 0, "abort the alignment after this duration (0 = no limit)")
 	progress := flag.Bool("progress", false, "stream per-round progress to stderr")
-	workers := flag.Int("workers", 0, "parallel refinement workers (0 = sequential)")
+	workers := flag.Int("workers", 0, "parallel refinement workers (0 or 1 = sequential, -1 = all cores)")
 	pairs := flag.Bool("pairs", false, "print every aligned URI pair")
 	unaligned := flag.Bool("unaligned", false, "print unaligned URIs per side")
 	deltaFlag := flag.Bool("delta", false, "print the change description (retained/removed/added triples)")
@@ -59,7 +59,11 @@ func main() {
 	if *keys != "" {
 		opts = append(opts, rdfalign.WithKeyPredicates(strings.Split(*keys, ",")...))
 	}
-	if *workers != 0 {
+	// WithParallelism treats non-positive values as "use GOMAXPROCS", so
+	// the documented "0 = sequential" semantics require skipping the option
+	// entirely for 0 and 1; only an explicitly negative value asks for all
+	// cores.
+	if *workers > 1 || *workers < 0 {
 		opts = append(opts, rdfalign.WithParallelism(*workers))
 	}
 	if *progress {

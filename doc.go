@@ -61,6 +61,26 @@
 //
 // wrapper remains for callers that need neither cancellation nor progress.
 //
+// # Performance
+//
+// The refinement fixpoints of the paper's default outbound recoloring run
+// on an incremental worklist engine (internal/core): each round recolors
+// only the nodes whose outbound neighbourhood changed in the previous
+// round, found through a lazily built reverse-dependency adjacency, and
+// stabilisation is decided from the round's change list. The result is
+// identical — color for color — to exhaustive recoloring, but the
+// per-round cost is proportional to the work actually remaining; on graphs
+// where most nodes stabilise early the engine is one to two orders of
+// magnitude faster (see BENCH_refine.json). WithParallelism chunks large
+// frontiers across a worker pool on top. The extended characterisations
+// (WithContextual, WithAdaptive, WithKeyPredicates) read inbound and
+// predicate-occurrence neighbourhoods the outbound dependency frontier
+// does not cover, so they refine by exhaustive recoloring as before.
+//
+// Thresholds follow one convention everywhere: Align_θ is inclusive
+// (σ(n, m) ≤ θ, §4.1), and every θ-taking option accepts (0, 1] with the
+// zero value selecting the paper's 0.65 default.
+//
 // The package also ships the paper's complete evaluation apparatus:
 // deterministic generators for the three datasets of Section 5 (an EFO-like
 // ontology, a GtoPdb-like relational database exported through the W3C

@@ -8,7 +8,13 @@ import (
 
 // Alignment is the relation Align(λ) ⊆ N1 × N2 defined by a partition of a
 // combined graph (§3.1), optionally restricted by a weighted partition's
-// threshold (§4.3: Align_θ(ξ) additionally requires ω(n) ⊕ ω(m) < θ).
+// threshold (§4.3: Align_θ(ξ) additionally requires ω(n) ⊕ ω(m) ≤ θ).
+//
+// Every thresholded alignment in this repository uses the inclusive
+// convention of the paper's Align_θ definition (§4.1): a pair at distance
+// exactly θ is aligned. σEdit (relation.go), the overlap verification
+// (similarity.OverlapMatch's distance functions, strdist.WithinThreshold)
+// and this weighted alignment all agree.
 type Alignment struct {
 	C *rdf.Combined
 	P *Partition
@@ -37,7 +43,7 @@ func (a *Alignment) Aligned(n1, n2 rdf.NodeID) bool {
 		return false
 	}
 	if a.W != nil {
-		return OPlus(a.W[cn], a.W[cm]) < a.Theta
+		return OPlus(a.W[cn], a.W[cm]) <= a.Theta
 	}
 	return true
 }
@@ -67,7 +73,7 @@ func (a *Alignment) MatchesOf(n1 rdf.NodeID) []rdf.NodeID {
 		if a.P.colors[cm] != col {
 			continue
 		}
-		if a.W != nil && OPlus(a.W[a.C.FromSource(n1)], a.W[cm]) >= a.Theta {
+		if a.W != nil && OPlus(a.W[a.C.FromSource(n1)], a.W[cm]) > a.Theta {
 			continue
 		}
 		out = append(out, a.C.ToTarget(cm))
@@ -86,7 +92,7 @@ func (a *Alignment) Pairs(f func(n1, n2 rdf.NodeID)) {
 	for n1 := 0; n1 < a.C.N1; n1++ {
 		cn := rdf.NodeID(n1)
 		for _, cm := range byColor[a.P.colors[cn]] {
-			if a.W != nil && OPlus(a.W[cn], a.W[cm]) >= a.Theta {
+			if a.W != nil && OPlus(a.W[cn], a.W[cm]) > a.Theta {
 				continue
 			}
 			f(cn, a.C.ToTarget(cm))

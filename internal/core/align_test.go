@@ -82,20 +82,25 @@ func TestWeightedAlignmentThreshold(t *testing.T) {
 	if !a.Aligned(ss1, ss2) {
 		t.Error("zero-weight pair below threshold should align")
 	}
-	// Push the combined weight to the threshold: Align_θ uses strict <.
+	// Push the combined weight to exactly the threshold: Align_θ is
+	// inclusive (σ ≤ θ, §4.1), so the pair still aligns — the regression
+	// anchor for the one-convention rule documented on Alignment.
 	xi.W[c.FromSource(ss1)] = 0.25
 	xi.W[c.FromTarget(ss2)] = 0.25
-	if a.Aligned(ss1, ss2) {
-		t.Error("pair at exactly θ must not align (strict inequality)")
+	if !a.Aligned(ss1, ss2) {
+		t.Error("pair at exactly θ must align (inclusive threshold)")
+	}
+	if got := a.MatchesOf(ss1); len(got) != 1 {
+		t.Errorf("weighted MatchesOf at exactly θ = %v, want one match", got)
 	}
 	xi.W[c.FromTarget(ss2)] = 0.2
 	if !a.Aligned(ss1, ss2) {
 		t.Error("pair below θ should align")
 	}
-	if got := a.MatchesOf(ss1); len(got) != 1 {
-		t.Errorf("weighted MatchesOf = %v, want one match", got)
-	}
 	xi.W[c.FromTarget(ss2)] = 0.3
+	if a.Aligned(ss1, ss2) {
+		t.Error("pair above θ must not align")
+	}
 	if got := a.MatchesOf(ss1); len(got) != 0 {
 		t.Errorf("weighted MatchesOf above θ = %v, want empty", got)
 	}

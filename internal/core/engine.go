@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"rdfalign/internal/rdf"
 )
@@ -35,6 +34,15 @@ type Engine struct {
 	// when the options permit (the parallel path implements only the
 	// default outbound recoloring); <= 1 runs sequentially.
 	Workers int
+	// FullRecolor disables the incremental worklist and recolors the
+	// entire recolor set every round — the pre-worklist reference
+	// behavior, kept for validation and benchmarking. Both strategies
+	// produce the identical coloring; the worklist is strictly faster on
+	// multi-round fixpoints. Engines with extended options (Opt) always
+	// recolor fully: the extended characterisations read inbound and
+	// predicate-occurrence neighbourhoods, which the outbound dependency
+	// frontier does not cover.
+	FullRecolor bool
 }
 
 // useOpts reports whether recoloring must go through the extended path.
@@ -44,10 +52,27 @@ func (e *Engine) useOpts() bool { return e.Opt.extended() || e.Opt.Filter != nil
 // under the engine's options, reporting one StageRefine round per iteration
 // and aborting with the context's error on cancellation. See Refine for the
 // stabilisation criterion.
+//
+// The default strategy is the incremental worklist engine (worklist.go):
+// after each round only the nodes of x whose outbound neighbourhood changed
+// are recolored, and stabilisation is decided from the round's change list.
+// FullRecolor selects the full-recolor reference loop instead; extended
+// options always use it (see Engine.FullRecolor).
 func (e *Engine) Refine(g *rdf.Graph, p *Partition, x []rdf.NodeID) (*Partition, int, error) {
-	if e.Workers > 1 && !e.useOpts() && len(x) >= parallelThreshold {
-		return e.refineParallel(g, p, x)
+	if !e.useOpts() && !e.FullRecolor {
+		return e.refineWorklist(g, p, x)
 	}
+	if e.Workers > 1 && !e.useOpts() && len(x) >= parallelThreshold {
+		return e.refineParallelFull(g, p, x)
+	}
+	return e.refineFull(g, p, x)
+}
+
+// refineFull is the full-recolor reference loop: every round recolors all
+// of x via RefineStep/RefineStepOpts and compares the whole colorings for
+// grouping equivalence. It is the only loop implementing the extended
+// recoloring options.
+func (e *Engine) refineFull(g *rdf.Graph, p *Partition, x []rdf.NodeID) (*Partition, int, error) {
 	cur := p
 	for iter := 0; ; iter++ {
 		if err := e.Hooks.Err(); err != nil {
@@ -66,33 +91,18 @@ func (e *Engine) Refine(g *rdf.Graph, p *Partition, x []rdf.NodeID) (*Partition,
 			return cur, iter, nil
 		}
 		cur = next
-		e.Hooks.Round(StageRefine, iter+1, 0)
+		e.Hooks.RoundDirty(StageRefine, iter+1, len(x))
 	}
 }
 
-// refineParallel is the worker-pool refinement loop — the shared-memory
-// analogue of the distributed bisimulation the paper points to for scaling
-// (§5.3, citing the MapReduce approach of Schätzle et al. [16]).
-//
-// Each iteration has two phases: gathering and canonicalising every node's
-// outbound color-pair set (embarrassingly parallel, and the dominant cost),
-// then interning the composites in node order (sequential — the interner is
-// single-threaded by design — but a small fraction of the work). Because
-// interning happens in the same order as the sequential engine, the result
-// is identical color-for-color, not merely equivalent.
-func (e *Engine) refineParallel(g *rdf.Graph, p *Partition, x []rdf.NodeID) (*Partition, int, error) {
-	workers := e.Workers
-	// Per-worker arenas hold the gathered pair lists; results record
-	// (prev, arena range) per node. Arenas persist across iterations to
-	// amortise allocation.
-	type gathered struct {
-		prev   Color
-		lo, hi int
-	}
-	results := make([]gathered, len(x))
-	arenas := make([][]ColorPair, workers)
-	chunk := (len(x) + workers - 1) / workers
-
+// refineParallelFull is the full-recolor worker-pool loop: the gather
+// phase of every round spans all of x (see parallelGatherer for the phase
+// structure and the color-identity guarantee). The worklist engine
+// parallelises the same way but over its dirty frontier only; this loop is
+// kept as the FullRecolor reference.
+func (e *Engine) refineParallelFull(g *rdf.Graph, p *Partition, x []rdf.NodeID) (*Partition, int, error) {
+	pg := newParallelGatherer(e.Workers)
+	var changes []change
 	cur := p
 	for iter := 0; ; iter++ {
 		if err := e.Hooks.Err(); err != nil {
@@ -101,49 +111,16 @@ func (e *Engine) refineParallel(g *rdf.Graph, p *Partition, x []rdf.NodeID) (*Pa
 		if iter > DefaultMaxIterations {
 			panic(fmt.Sprintf("core: Refine (parallel) did not stabilise after %d iterations", iter))
 		}
-		// Phase 1: parallel gather + canonicalise.
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			hi := lo + chunk
-			if hi > len(x) {
-				hi = len(x)
-			}
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				arena := arenas[w][:0]
-				for i := lo; i < hi; i++ {
-					n := x[i]
-					start := len(arena)
-					for _, e := range g.Out(n) {
-						arena = append(arena, ColorPair{P: cur.colors[e.P], O: cur.colors[e.O]})
-					}
-					run := arena[start:]
-					sortPairs(run)
-					run = dedupPairs(run)
-					arena = arena[:start+len(run)]
-					results[i] = gathered{prev: cur.colors[n], lo: start, hi: len(arena)}
-				}
-				arenas[w] = arena
-			}(w, lo, hi)
-		}
-		wg.Wait()
-		// Phase 2: sequential interning in node order (pairs arrive
-		// already canonicalised from the gather phase).
+		changes = pg.round(g, cur, x, changes[:0])
 		next := cur.Clone()
-		for i, n := range x {
-			w := i / chunk
-			next.colors[n] = cur.in.compositeCanonical(results[i].prev, arenas[w][results[i].lo:results[i].hi])
+		for _, ch := range changes {
+			next.colors[ch.n] = ch.new
 		}
 		if equivalentColors(cur.colors, next.colors) {
 			return cur, iter, nil
 		}
 		cur = next
-		e.Hooks.Round(StageRefine, iter+1, 0)
+		e.Hooks.RoundDirty(StageRefine, iter+1, len(x))
 	}
 }
 
@@ -203,9 +180,15 @@ func (e *Engine) HybridFromDeblank(c *rdf.Combined, deblank *Partition) (*Partit
 // recoloring always uses the paper's default outbound characterisation; the
 // engine's Opt does not apply. See the package-level RefineWeighted for the
 // convergence argument.
+// The default strategy is the incremental worklist engine (worklist.go);
+// FullRecolor selects the full-recolor reference loop. Both produce
+// bit-identical colors and weights.
 func (e *Engine) RefineWeighted(g *rdf.Graph, xi *Weighted, x []rdf.NodeID, eps float64) (*Weighted, int, error) {
 	if eps <= 0 {
 		eps = DefaultEpsilon
+	}
+	if !e.FullRecolor {
+		return e.refineWeightedWorklist(g, xi, x, eps)
 	}
 	cur := xi
 	for iter := 0; ; iter++ {
@@ -226,7 +209,7 @@ func (e *Engine) RefineWeighted(g *rdf.Graph, xi *Weighted, x []rdf.NodeID, eps 
 			return next, iter + 1, nil
 		}
 		cur = next
-		e.Hooks.Round(StagePropagate, iter+1, 0)
+		e.Hooks.RoundDirty(StagePropagate, iter+1, len(x))
 	}
 }
 

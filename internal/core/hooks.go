@@ -26,6 +26,11 @@ type ProgressEvent struct {
 	// Total is the number of rounds known in advance (archive versions);
 	// 0 when the stage runs to a fixpoint of unknown length.
 	Total int
+	// Dirty is the number of nodes the round actually recolored — the
+	// frontier size for the worklist refinement engines, the full recolor
+	// set size for the full-recolor reference engine, and 0 for stages
+	// without a recoloring notion (overlap rounds, archive versions).
+	Dirty int
 }
 
 // Hooks threads session-level controls — cancellation and progress
@@ -53,5 +58,13 @@ func (h Hooks) Err() error {
 func (h Hooks) Round(stage string, round, total int) {
 	if h.OnRound != nil {
 		h.OnRound(ProgressEvent{Stage: stage, Round: round, Total: total})
+	}
+}
+
+// RoundDirty is Round for the refinement fixpoints, which additionally
+// report how many nodes the completed round recolored.
+func (h Hooks) RoundDirty(stage string, round, dirty int) {
+	if h.OnRound != nil {
+		h.OnRound(ProgressEvent{Stage: stage, Round: round, Dirty: dirty})
 	}
 }

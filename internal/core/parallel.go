@@ -7,10 +7,10 @@ import (
 )
 
 // RefineParallel computes the same fixpoint as Refine with each iteration's
-// recoloring parallelised across workers; see Engine.refineParallel for the
-// phase structure and the color-identity guarantee. workers <= 0 selects
-// GOMAXPROCS; with one worker, or fewer than 256 nodes to recolor, the
-// sequential engine is used.
+// gather phase parallelised across workers; see parallelGatherer
+// (worklist.go) for the phase structure and the color-identity guarantee.
+// workers <= 0 selects GOMAXPROCS; with one worker, or a dirty frontier
+// below 256 nodes, rounds run sequentially.
 func RefineParallel(g *rdf.Graph, p *Partition, x []rdf.NodeID, workers int) (*Partition, int) {
 	q, n, _ := (&Engine{Workers: normalizeWorkers(workers)}).Refine(g, p, x)
 	return q, n

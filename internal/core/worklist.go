@@ -1,0 +1,387 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"rdfalign/internal/rdf"
+)
+
+// This file implements the incremental worklist refinement engine, the
+// default evaluation strategy for Engine.Refine and Engine.RefineWeighted.
+//
+// The full-recolor reference engine recolors every node of the recolor set x
+// and clones the whole partition on every iteration, even though after the
+// first few rounds only a shrinking frontier of nodes can still change color
+// — the observation behind efficient bisimulation partition refinement
+// (Paige–Tarjan-style splitting; cf. the distributed signature refinement of
+// Schätzle et al. the paper cites in §5.3). The worklist engine exploits the
+// locality of recolor_λ: the color assigned to n depends only on λ(n) and on
+// λ(p), λ(o) for the outbound half-edges (p, o) ∈ out(n), so after a round
+// changes the colors of a set C, only the nodes of x with an out-edge into C
+// — rdf.Graph.Dependents(C) ∩ x — can recolor differently next round.
+//
+// Two properties make the frontier exact rather than merely sound:
+//
+//   - Stable-tree collapse (Interner.Composite): when a node's outbound pair
+//     set is unchanged, recoloring returns its current color unchanged, even
+//     though the node's own color changed last round. A node therefore never
+//     re-dirties itself; only neighbourhood changes do.
+//   - First-round seeding: the first round recolors all of x, establishing
+//     the invariant that every x node's color is a composite whose stored
+//     pair set equals its current outbound pair set.
+//
+// Consequently a worklist round computes exactly the partition the full
+// RefineStep would, and the engines agree color for color: dirty nodes are
+// interned in ascending node order (the frontier is kept sorted), matching
+// the full engine's iteration order over an ascending x.
+//
+// Stabilisation cannot be detected by an empty frontier alone: the
+// documented grouping-equivalence semantics (see Refine) allow a recolored
+// node to keep changing color while the induced grouping is stable — on a
+// cycle of blank nodes every round renames the cycle's class to a fresh
+// color forever. The engine therefore buffers each round's changes and asks
+// whether applying them would merely rename classes (equivalentRenaming);
+// if so the round is discarded and the pre-round partition returned, exactly
+// as the full engine's equivalentColors scan decides — but in O(|changes|)
+// instead of O(|N|) per round.
+
+// change records one recolored node within a round, before application.
+type change struct {
+	n        rdf.NodeID
+	old, new Color
+}
+
+// colorCounts tracks the class size of every color under the current
+// coloring, so grouping equivalence can be decided from a round's change
+// list alone.
+type colorCounts struct {
+	n []int32
+}
+
+func newColorCounts(colors []Color) *colorCounts {
+	max := Color(0)
+	for _, c := range colors {
+		if c > max {
+			max = c
+		}
+	}
+	cc := &colorCounts{n: make([]int32, int(max)+1)}
+	for _, c := range colors {
+		cc.n[c]++
+	}
+	return cc
+}
+
+// at returns the class size of c (0 for colors never assigned).
+func (cc *colorCounts) at(c Color) int32 {
+	if int(c) < len(cc.n) {
+		return cc.n[c]
+	}
+	return 0
+}
+
+// move re-assigns one node from old to new.
+func (cc *colorCounts) move(old, new Color) {
+	cc.n[old]--
+	if int(new) >= len(cc.n) {
+		grown := make([]int32, int(new)+1+len(cc.n)/2)
+		copy(grown, cc.n)
+		cc.n = grown
+	}
+	cc.n[new]++
+}
+
+// equivalentRenaming reports whether applying the round's changes would
+// yield a grouping-equivalent partition (λ ≡ λ', §2.2) — the incremental
+// counterpart of equivalentColors. Colors on nodes outside the change set
+// are untouched, so any witnessing bijection must fix them; equivalence
+// therefore holds iff the changes are a consistent, injective renaming of
+// wholly-vacated classes onto wholly-fresh ones:
+//
+//  1. all members of an old class move to the same new color,
+//  2. no node outside the change set keeps an old color that moved
+//     (otherwise the class split),
+//  3. no node outside the change set already holds a target color
+//     (otherwise classes merged), and the renaming is injective.
+func equivalentRenaming(changes []change, cc *colorCounts) bool {
+	if len(changes) == 0 {
+		return true
+	}
+	fwd := make(map[Color]Color, len(changes))
+	bwd := make(map[Color]Color, len(changes))
+	movedFrom := make(map[Color]int32, len(changes))
+	for _, ch := range changes {
+		if w, ok := fwd[ch.old]; ok {
+			if w != ch.new {
+				return false // class split across two new colors
+			}
+		} else {
+			fwd[ch.old] = ch.new
+			if o, ok := bwd[ch.new]; ok && o != ch.old {
+				return false // two classes merged into one new color
+			}
+			bwd[ch.new] = ch.old
+		}
+		movedFrom[ch.old]++
+	}
+	for old, cnt := range movedFrom {
+		if cc.at(old) != cnt {
+			return false // a node outside the change set keeps old
+		}
+	}
+	for new := range bwd {
+		if cc.at(new)-movedFrom[new] != 0 {
+			return false // a node outside the change set already holds new
+		}
+	}
+	return true
+}
+
+// dedupFrontier copies x into a frontier, dropping duplicate node IDs while
+// preserving first-occurrence order (the full engine's interning order for
+// the first round). mark is stamped with stamp.
+func dedupFrontier(x []rdf.NodeID, mark []int32, stamp int32) []rdf.NodeID {
+	out := make([]rdf.NodeID, 0, len(x))
+	for _, n := range x {
+		if mark[n] == stamp {
+			continue
+		}
+		mark[n] = stamp
+		out = append(out, n)
+	}
+	return out
+}
+
+// nextFrontier computes the next round's dirty set: every node of x with an
+// outbound half-edge into a node whose color (or, for the weighted engine,
+// weight) just changed. The result is sorted ascending so interning stays
+// deterministic.
+func nextFrontier(g *rdf.Graph, changed []rdf.NodeID, inX []bool, mark []int32, stamp int32, out []rdf.NodeID) []rdf.NodeID {
+	out = out[:0]
+	for _, m := range changed {
+		for _, s := range g.Dependents(m) {
+			if inX[s] && mark[s] != stamp {
+				mark[s] = stamp
+				out = append(out, s)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// refineWorklist is the incremental fixpoint behind Engine.Refine for the
+// default outbound recoloring. When the engine has Workers > 1 and the
+// frontier is large enough, each round's gather phase is chunked across a
+// worker pool (see gatherParallel); interning always stays sequential and
+// in ascending node order, so every configuration produces the identical
+// coloring.
+func (e *Engine) refineWorklist(g *rdf.Graph, p *Partition, x []rdf.NodeID) (*Partition, int, error) {
+	cur := p.Clone()
+	colors := cur.colors
+	inX := make([]bool, len(colors))
+	for _, n := range x {
+		inX[n] = true
+	}
+	mark := make([]int32, len(colors))
+	stamp := int32(1)
+	dirty := dedupFrontier(x, mark, stamp)
+	counts := newColorCounts(colors)
+	changes := make([]change, 0, len(dirty))
+	changedNodes := make([]rdf.NodeID, 0, len(dirty))
+	var scratch []ColorPair
+	var pg *parallelGatherer
+	for iter := 0; ; iter++ {
+		if err := e.Hooks.Err(); err != nil {
+			return nil, 0, err
+		}
+		if iter > DefaultMaxIterations {
+			panic(fmt.Sprintf("core: Refine (worklist) did not stabilise after %d iterations", iter))
+		}
+		changes = changes[:0]
+		if e.Workers > 1 && len(dirty) >= parallelThreshold {
+			if pg == nil {
+				pg = newParallelGatherer(e.Workers)
+			}
+			changes = pg.round(g, cur, dirty, changes)
+		} else {
+			for _, n := range dirty {
+				var c Color
+				c, scratch = recolor(g, cur, n, scratch)
+				if c != colors[n] {
+					changes = append(changes, change{n: n, old: colors[n], new: c})
+				}
+			}
+		}
+		if equivalentRenaming(changes, counts) {
+			// Quiescent: the round at most renames classes (a node joining
+			// an equivalent class, or a blank cycle re-deriving itself).
+			// Discard it and return the pre-round partition, as the full
+			// engine's grouping-equivalence scan does.
+			return cur, iter, nil
+		}
+		changedNodes = changedNodes[:0]
+		for _, ch := range changes {
+			colors[ch.n] = ch.new
+			counts.move(ch.old, ch.new)
+			changedNodes = append(changedNodes, ch.n)
+		}
+		e.Hooks.RoundDirty(StageRefine, iter+1, len(dirty))
+		stamp++
+		dirty = nextFrontier(g, changedNodes, inX, mark, stamp, dirty)
+	}
+}
+
+// gathered records one node's recolor inputs from the parallel gather
+// phase: its pre-round color and the canonicalised pair run in the worker's
+// arena.
+type gathered struct {
+	prev   Color
+	lo, hi int
+}
+
+// parallelGatherer chunks a worklist round's gather phase — collecting and
+// canonicalising every dirty node's outbound color pairs, the dominant cost
+// — across a worker pool. It is the shared-memory analogue of the
+// distributed bisimulation the paper points to for scaling (§5.3, citing
+// the MapReduce approach of Schätzle et al. [16]). Arenas and the result
+// slice persist across rounds to amortise allocation.
+type parallelGatherer struct {
+	workers int
+	arenas  [][]ColorPair
+	results []gathered
+}
+
+func newParallelGatherer(workers int) *parallelGatherer {
+	return &parallelGatherer{workers: workers, arenas: make([][]ColorPair, workers)}
+}
+
+// round runs one gather+intern round over the dirty frontier, appending the
+// observed changes to changes. Interning happens sequentially in frontier
+// order, so the result is identical color-for-color to the sequential path.
+func (pg *parallelGatherer) round(g *rdf.Graph, cur *Partition, dirty []rdf.NodeID, changes []change) []change {
+	if cap(pg.results) < len(dirty) {
+		pg.results = make([]gathered, len(dirty))
+	}
+	results := pg.results[:len(dirty)]
+	chunk := (len(dirty) + pg.workers - 1) / pg.workers
+	var wg sync.WaitGroup
+	for w := 0; w < pg.workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(dirty) {
+			hi = len(dirty)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			arena := pg.arenas[w][:0]
+			for i := lo; i < hi; i++ {
+				n := dirty[i]
+				start := len(arena)
+				for _, e := range g.Out(n) {
+					arena = append(arena, ColorPair{P: cur.colors[e.P], O: cur.colors[e.O]})
+				}
+				run := arena[start:]
+				sortPairs(run)
+				run = dedupPairs(run)
+				arena = arena[:start+len(run)]
+				results[i] = gathered{prev: cur.colors[n], lo: start, hi: len(arena)}
+			}
+			pg.arenas[w] = arena
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for i, n := range dirty {
+		w := i / chunk
+		c := cur.in.compositeCanonical(results[i].prev, pg.arenas[w][results[i].lo:results[i].hi])
+		if c != cur.colors[n] {
+			changes = append(changes, change{n: n, old: cur.colors[n], new: c})
+		}
+	}
+	return changes
+}
+
+// wchange records one reweighted node within a weighted round.
+type wchange struct {
+	n rdf.NodeID
+	w float64
+}
+
+// refineWeightedWorklist is the incremental fixpoint behind
+// Engine.RefineWeighted. A node re-enters the frontier when a node its
+// outbound neighbourhood mentions changed color or weight at all (δ > 0) —
+// not merely by ≥ ε — so skipped nodes are exactly the ones the full
+// RefineWeightedStep would recompute unchanged, and the engines agree
+// bit-for-bit on both colors and weights. ε governs only termination, as in
+// the full engine: the loop stops once a round moves no weight by ε or more
+// and at most renames color classes.
+func (e *Engine) refineWeightedWorklist(g *rdf.Graph, xi *Weighted, x []rdf.NodeID, eps float64) (*Weighted, int, error) {
+	cur := xi.Clone()
+	colors := cur.P.colors
+	w := cur.W
+	inX := make([]bool, len(colors))
+	for _, n := range x {
+		inX[n] = true
+	}
+	mark := make([]int32, len(colors))
+	stamp := int32(1)
+	dirty := dedupFrontier(x, mark, stamp)
+	counts := newColorCounts(colors)
+	changes := make([]change, 0, len(dirty))
+	wchanges := make([]wchange, 0, len(dirty))
+	changedNodes := make([]rdf.NodeID, 0, len(dirty))
+	var scratch []ColorPair
+	for iter := 0; ; iter++ {
+		if err := e.Hooks.Err(); err != nil {
+			return nil, 0, err
+		}
+		if iter > DefaultMaxIterations {
+			panic(fmt.Sprintf("core: RefineWeighted (worklist) did not stabilise after %d iterations", iter))
+		}
+		changes, wchanges = changes[:0], wchanges[:0]
+		maxDelta := 0.0
+		for _, n := range dirty {
+			var c Color
+			c, scratch = recolor(g, cur.P, n, scratch)
+			if c != colors[n] {
+				changes = append(changes, change{n: n, old: colors[n], new: c})
+			}
+			nw := reweight(g, w, n)
+			if d := math.Abs(nw - w[n]); d > 0 {
+				wchanges = append(wchanges, wchange{n: n, w: nw})
+				if d > maxDelta {
+					maxDelta = d
+				}
+			}
+		}
+		stop := maxDelta < eps && equivalentRenaming(changes, counts)
+		// The weighted fixpoint applies its final step (it returns the
+		// refined ξ, not the pre-round one — see RefineWeighted), so apply
+		// before deciding to return.
+		changedNodes = changedNodes[:0]
+		for _, ch := range changes {
+			colors[ch.n] = ch.new
+			counts.move(ch.old, ch.new)
+			changedNodes = append(changedNodes, ch.n)
+		}
+		for _, wc := range wchanges {
+			w[wc.n] = wc.w
+		}
+		if stop {
+			return cur, iter + 1, nil
+		}
+		e.Hooks.RoundDirty(StagePropagate, iter+1, len(dirty))
+		for _, wc := range wchanges {
+			changedNodes = append(changedNodes, wc.n)
+		}
+		stamp++
+		dirty = nextFrontier(g, changedNodes, inX, mark, stamp, dirty)
+	}
+}

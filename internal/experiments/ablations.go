@@ -19,7 +19,7 @@ import (
 // the wall-clock cost of each method.
 type AblationSigmaEditResult struct {
 	Nodes             int
-	OverlapPairs      int // clustered pairs with σ_ξ < θ
+	OverlapPairs      int // clustered pairs with σ_ξ ≤ θ
 	SigmaPairs        int // pairs with σEdit ≤ θ
 	OverlapInSigma    int // overlap pairs also aligned by σEdit (Theorem 1 says all)
 	TheoremViolations int
@@ -68,7 +68,7 @@ func (e *Env) AblationSigmaEdit() *AblationSigmaEditResult {
 			if inSigma {
 				out.SigmaPairs++
 			}
-			if xi.P.Color(n) == xi.P.Color(m) && core.OPlus(xi.W[n], xi.W[m]) < cfg.Theta {
+			if xi.P.Color(n) == xi.P.Color(m) && core.OPlus(xi.W[n], xi.W[m]) <= cfg.Theta {
 				out.OverlapPairs++
 				if inSigma {
 					out.OverlapInSigma++

@@ -129,6 +129,12 @@ type Graph struct {
 	poIndex []int32
 	poEdges []Edge
 
+	// Recolor-dependency adjacency, built lazily on first Dependents()
+	// call (the worklist refinement engine needs it).
+	depOnce  sync.Once
+	depIndex []int32
+	depNodes []NodeID
+
 	blanks int // number of blank-labelled nodes
 	lits   int // number of literal-labelled nodes
 }
@@ -261,6 +267,59 @@ func (g *Graph) buildPredOcc() {
 			return run[i].O < run[j].O
 		})
 	}
+}
+
+// Dependents returns the subjects whose outbound neighbourhood mentions n:
+// every s with a triple (s, n, o) or (s, p, n), deduplicated and sorted
+// ascending. This is the reverse dependency relation of bisimulation
+// recoloring — recolor_λ(s) reads λ(p) and λ(o) for each (p, o) ∈ out(s), so
+// after λ(n) changes, exactly the nodes in Dependents(n) can recolor
+// differently. The worklist refinement engine uses it to seed each round's
+// dirty frontier. The slice aliases lazily built internal storage and must
+// not be modified.
+func (g *Graph) Dependents(n NodeID) []NodeID {
+	g.depOnce.Do(g.buildDependents)
+	return g.depNodes[g.depIndex[n]:g.depIndex[n+1]]
+}
+
+func (g *Graph) buildDependents() {
+	n := len(g.labels)
+	idx := make([]int32, n+1)
+	for _, t := range g.triples {
+		idx[t.P+1]++
+		idx[t.O+1]++
+	}
+	for i := 1; i <= n; i++ {
+		idx[i] += idx[i-1]
+	}
+	nodes := make([]NodeID, 2*len(g.triples))
+	cursor := make([]int32, n)
+	copy(cursor, idx[:n])
+	for _, t := range g.triples {
+		nodes[cursor[t.P]] = t.S
+		cursor[t.P]++
+		nodes[cursor[t.O]] = t.S
+		cursor[t.O]++
+	}
+	// Each run is filled in triple order and triples are sorted by subject,
+	// so runs arrive already sorted; deduplicate them with an in-place
+	// compaction (the write position never overtakes the read position).
+	out := nodes[:0]
+	newIdx := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		prev := NodeID(-1)
+		for j := idx[i]; j < idx[i+1]; j++ {
+			s := nodes[j]
+			if s == prev {
+				continue
+			}
+			prev = s
+			out = append(out, s)
+		}
+		newIdx[i+1] = int32(len(out))
+	}
+	g.depIndex = newIdx
+	g.depNodes = out
 }
 
 // Triples returns the edge list sorted by (S, P, O). The slice aliases

@@ -358,6 +358,59 @@ func TestPredOccMirrorsTriples(t *testing.T) {
 	}
 }
 
+// TestDependentsMirrorsTriples checks the recolor-dependency adjacency
+// against a brute-force scan: Dependents(n) must be exactly the sorted,
+// deduplicated subjects of triples using n in predicate or object position.
+func TestDependentsMirrorsTriples(t *testing.T) {
+	g := figure2(t)
+	g.Nodes(func(n NodeID) {
+		want := map[NodeID]bool{}
+		for _, tr := range g.Triples() {
+			if tr.P == n || tr.O == n {
+				want[tr.S] = true
+			}
+		}
+		got := g.Dependents(n)
+		if len(got) != len(want) {
+			t.Fatalf("Dependents(%d) = %v, want the %d subjects of %v", n, got, len(want), want)
+		}
+		for i, s := range got {
+			if !want[s] {
+				t.Errorf("Dependents(%d) contains unexpected subject %d", n, s)
+			}
+			if i > 0 && got[i-1] >= s {
+				t.Errorf("Dependents(%d) not strictly ascending: %v", n, got)
+			}
+		}
+	})
+}
+
+// TestDependentsPredicatePosition: a node used only as a predicate still
+// reports the subjects of the triples using it — the case an object-only
+// reverse adjacency would miss.
+func TestDependentsPredicatePosition(t *testing.T) {
+	b := NewBuilder("pred")
+	s1 := b.URI("s1")
+	s2 := b.URI("s2")
+	p := b.URI("p")
+	o := b.URI("o")
+	b.Triple(s1, p, o)
+	b.Triple(s2, p, o)
+	g, err := b.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.Dependents(p)
+	if len(got) != 2 || got[0] != s1 || got[1] != s2 {
+		t.Fatalf("Dependents(p) = %v, want [%d %d]", got, s1, s2)
+	}
+	// s1 has the triple (s1, p, o) in both positions' target sets exactly
+	// once each; the run for o must deduplicate multi-edge subjects.
+	if dep := g.Dependents(o); len(dep) != 2 {
+		t.Fatalf("Dependents(o) = %v, want two subjects", dep)
+	}
+}
+
 func TestEmptyGraph(t *testing.T) {
 	g, err := NewBuilder("empty").Graph()
 	if err != nil {

@@ -13,8 +13,11 @@ import (
 
 // OverlapOptions configures the overlap alignment (Algorithm 2).
 type OverlapOptions struct {
-	// Theta is the similarity threshold θ ∈ [0, 1]; the paper's
-	// evaluation default is 0.65 (Figure 15's precision peak).
+	// Theta is the similarity threshold θ ∈ (0, 1]; the zero value
+	// selects DefaultTheta, the paper's evaluation setting (Figure 15's
+	// precision peak). Values outside (0, 1] are rejected — the same
+	// range, zero-value semantics and error wording as rdfalign's
+	// WithTheta.
 	Theta float64
 	// Epsilon is the weight stabilisation threshold for propagation.
 	Epsilon float64
@@ -32,6 +35,18 @@ type OverlapOptions struct {
 
 // DefaultTheta is the threshold used throughout the paper's evaluation.
 const DefaultTheta = 0.65
+
+// ValidateTheta checks a (non-zero) similarity threshold against the
+// accepted range. Every θ-taking layer — OverlapAlign here and rdfalign's
+// NewAligner — accepts exactly (0, 1], treats a zero value as "use
+// DefaultTheta" before validating, and reports violations with this
+// wording.
+func ValidateTheta(theta float64) error {
+	if theta <= 0 || theta > 1 {
+		return fmt.Errorf("theta %v outside (0, 1] (zero selects the default %v)", theta, DefaultTheta)
+	}
+	return nil
+}
 
 // OverlapResult is the weighted partition ξOverlap produced by Algorithm 2,
 // with per-round diagnostics.
@@ -60,12 +75,11 @@ func (r *OverlapResult) Alignment(c *rdf.Combined) *core.Alignment {
 //	        Hi := OverlapMatch(unaligned non-literals, θ, out-color, σNL)
 //	until Hi has no edges
 func OverlapAlign(c *rdf.Combined, hybrid *core.Partition, opt OverlapOptions) (*OverlapResult, error) {
-	if opt.Theta <= 0 || opt.Theta > 1 {
-		if opt.Theta == 0 {
-			opt.Theta = DefaultTheta
-		} else {
-			return nil, fmt.Errorf("similarity: theta %v outside (0, 1]", opt.Theta)
-		}
+	if opt.Theta == 0 {
+		opt.Theta = DefaultTheta
+	}
+	if err := ValidateTheta(opt.Theta); err != nil {
+		return nil, fmt.Errorf("similarity: %w", err)
 	}
 	if opt.MaxRounds <= 0 {
 		opt.MaxRounds = 1000
@@ -181,7 +195,7 @@ func matchNonLiterals(c *rdf.Combined, xi *core.Weighted, a, b []rdf.NodeID, the
 		return OutColors(c, xi.P, n)
 	}, func(n, m rdf.NodeID) (float64, bool) {
 		d := NLDistance(c, xi, n, m)
-		return d, d < theta
+		return d, d <= theta
 	}, hooks)
 }
 

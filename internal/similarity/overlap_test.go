@@ -129,8 +129,8 @@ func TestOverlapMatchFindsEditedLiterals(t *testing.T) {
 		t.Fatalf("expected 2 matched pairs, got %d: %+v", len(h.Edges), h.Edges)
 	}
 	for _, e := range h.Edges {
-		if e.D >= theta {
-			t.Errorf("edge distance %v ≥ θ", e.D)
+		if e.D > theta {
+			t.Errorf("edge distance %v > θ", e.D)
 		}
 		v1 := c.Label(e.A).Value
 		v2 := c.Label(e.B).Value
@@ -141,9 +141,28 @@ func TestOverlapMatchFindsEditedLiterals(t *testing.T) {
 	}
 }
 
+// TestOverlapMatchInclusiveThreshold pins the unified Align_θ convention at
+// the boundary: the pair below sits at word overlap exactly 2/4 = θ and at
+// normalised edit distance exactly 6/12 = θ, so it passes both the
+// candidate screen (overlap ≥ θ) and the inclusive distance verification
+// (σ ≤ θ, §4.1). Under the old strict-< verification the pair was silently
+// dropped while σEdit's Align_θ accepted it.
+func TestOverlapMatchInclusiveThreshold(t *testing.T) {
+	c, a, b := literalNodes(t, []string{"aa bb cccccc"}, []string{"aa bb dddddd"})
+	theta := 0.5
+	h := OverlapMatch(a, b, theta,
+		func(n rdf.NodeID) []string { return Split(c.Label(n).Value) },
+		func(n, m rdf.NodeID) (float64, bool) {
+			return strdist.WithinThreshold(c.Label(n).Value, c.Label(m).Value, theta)
+		})
+	if len(h.Edges) != 1 || h.Edges[0].D != theta {
+		t.Fatalf("pair at exactly θ: edges = %+v, want one edge at D = %v", h.Edges, theta)
+	}
+}
+
 // TestOverlapMatchLossless compares the heuristic against the brute-force
 // all-pairs filter on random word sets: the prefix filter must not lose any
-// pair with overlap ≥ θ and σ < θ.
+// pair with overlap ≥ θ and σ ≤ θ.
 func TestOverlapMatchLossless(t *testing.T) {
 	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
 	f := func(seed int64) bool {
@@ -359,8 +378,8 @@ func TestOverlapAlignFigure7Cascade(t *testing.T) {
 			t.Errorf("overlap should cluster %s with %s",
 				c.Label(pr[0]), c.Label(pr[1]))
 		}
-		if d := xi.Distance(pr[0], pr[1]); d >= res.Theta {
-			t.Errorf("induced distance for %s/%s = %v, want < θ",
+		if d := xi.Distance(pr[0], pr[1]); d > res.Theta {
+			t.Errorf("induced distance for %s/%s = %v, want ≤ θ",
 				c.Label(pr[0]), c.Label(pr[1]), d)
 		}
 	}

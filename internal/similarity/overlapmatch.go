@@ -59,8 +59,9 @@ type WeightedBipartite struct {
 func (h *WeightedBipartite) HasEdges() bool { return len(h.Edges) > 0 }
 
 // DistFunc verifies one candidate pair: it returns the distance and whether
-// the pair passes (d < θ). Implementations may compute lazily and bail out
-// early (cf. strdist.WithinThreshold).
+// the pair passes (d ≤ θ, the inclusive Align_θ convention of §4.1).
+// Implementations may compute lazily and bail out early (cf.
+// strdist.WithinThreshold).
 type DistFunc func(a, b rdf.NodeID) (float64, bool)
 
 // OverlapMatch is Algorithm 1 (§4.6): it discovers close pairs between the
@@ -68,7 +69,7 @@ type DistFunc func(a, b rdf.NodeID) (float64, bool)
 // objects (char); an inverted index over B's objects plus frequency-ordered
 // prefix filtering yields candidates sharing a discriminating object;
 // candidates are screened by overlap(char(a), char(b)) ≥ θ and finally
-// verified with the distance function (σ(a, b) < θ).
+// verified with the distance function (σ(a, b) ≤ θ).
 //
 // Prefix length: the paper's pseudocode scans the ⌈kθ⌉ least frequent
 // objects of char(a). A prefix of ⌊(1−θ)k⌋+1 objects is what makes the

@@ -71,10 +71,11 @@ func Normalized(a, b string) float64 {
 	return float64(Levenshtein(a, b)) / float64(m)
 }
 
-// WithinThreshold reports whether Normalized(a, b) < theta, computing the
-// distance with a banded dynamic program that abandons the computation as
-// soon as the bound is provably exceeded. It returns the normalised
-// distance (exact when ok) and ok.
+// WithinThreshold reports whether Normalized(a, b) ≤ theta — the inclusive
+// Align_θ convention (§4.1) used by every thresholded alignment in this
+// repository — computing the distance with a banded dynamic program that
+// abandons the computation as soon as the bound is provably exceeded. It
+// returns the normalised distance (exact when ok) and ok.
 //
 // This is the candidate-verification primitive of the overlap heuristic
 // (Algorithm 1, line 17), where most candidate pairs fail the test and the
@@ -88,15 +89,17 @@ func WithinThreshold(a, b string, theta float64) (dist float64, ok bool) {
 		maxLen = lb
 	}
 	if maxLen == 0 {
-		return 0, 0 < theta
+		return 0, 0 <= theta
 	}
-	// Maximum tolerable absolute distance: strictly less than
-	// theta*maxLen.
+	// Maximum tolerable absolute distance: d/maxLen ≤ theta for integer d
+	// is ⌊theta·maxLen⌋ in the rationals, so a distance exactly at the
+	// limit (the θ·maxLen integral case) passes. The float product can
+	// round just below an integer the rational product reaches (θ = 15/22
+	// with maxLen 22 gives 14.999…8), so widen the band while the next
+	// distance still compares ≤ θ under the final check's float division.
 	limit := int(theta * float64(maxLen))
-	if float64(limit) == theta*float64(maxLen) {
-		// Strict inequality: distance == limit is still ok only if
-		// limit/maxLen < theta, which fails when equality holds
-		// exactly; allow limit-1... handled below by the final check.
+	for limit < maxLen && float64(limit+1)/float64(maxLen) <= theta {
+		limit++
 	}
 	if abs(la-lb) > limit {
 		return 1, false
@@ -104,6 +107,12 @@ func WithinThreshold(a, b string, theta float64) (dist float64, ok bool) {
 	if lb > la {
 		ra, rb = rb, ra
 		la, lb = lb, la
+	}
+	if lb == 0 {
+		// One string empty: the distance is maxLen, normalised 1. Only
+		// θ = 1 admits it (smaller thresholds were rejected by the length
+		// gap above).
+		return 1, 1 <= theta
 	}
 	// Banded DP with band radius = limit.
 	const inf = 1 << 30
@@ -168,8 +177,11 @@ func WithinThreshold(a, b string, theta float64) (dist float64, ok bool) {
 	if d > limit {
 		return 1, false
 	}
+	// The band limit is exact in the rationals; the final comparison uses
+	// the same float expression as Normalized so the two functions can
+	// never disagree through rounding.
 	nd := float64(d) / float64(maxLen)
-	return nd, nd < theta
+	return nd, nd <= theta
 }
 
 func abs(x int) int {

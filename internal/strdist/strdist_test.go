@@ -140,7 +140,7 @@ func TestWithinThresholdAgreesWithNormalized(t *testing.T) {
 		}
 		want := Normalized(a, b)
 		got, ok := WithinThreshold(a, b, theta)
-		if ok != (want < theta) {
+		if ok != (want <= theta) {
 			t.Logf("WithinThreshold(%q,%q,%v): ok=%v, Normalized=%v", a, b, theta, ok, want)
 			return false
 		}
@@ -165,8 +165,52 @@ func TestWithinThresholdLengthEarlyOut(t *testing.T) {
 	if _, ok := WithinThreshold("", "", 0.5); !ok {
 		t.Error("two empty strings are within any positive threshold")
 	}
-	if _, ok := WithinThreshold("", "", 0.0); ok {
-		t.Error("strict threshold 0 admits nothing")
+	if _, ok := WithinThreshold("", "", 0.0); !ok {
+		t.Error("two empty strings are at distance 0 ≤ θ = 0")
+	}
+}
+
+// TestWithinThresholdBandBoundary pins the θ·maxLen integral case: with the
+// inclusive convention, a distance exactly at the band limit passes, one
+// edit beyond it fails. This is the regression test for the formerly dead
+// (and misleading) strict-inequality special case in the band computation.
+func TestWithinThresholdBandBoundary(t *testing.T) {
+	cases := []struct {
+		a, b  string
+		theta float64
+		dist  float64
+		ok    bool
+	}{
+		// maxLen = 4, θ·maxLen = 2 exactly; distance 2 is on the limit.
+		{"abcd", "abxy", 0.5, 0.5, true},
+		// Distance 3 exceeds the limit by one edit.
+		{"abcd", "axyz", 0.5, 1, false},
+		// maxLen = 20, θ·maxLen = 13 exactly (the 0.65 default).
+		{strings.Repeat("a", 20), strings.Repeat("a", 7) + strings.Repeat("b", 13), 0.65, 0.65, true},
+		{strings.Repeat("a", 20), strings.Repeat("a", 6) + strings.Repeat("b", 14), 0.65, 1, false},
+		// Length gap exactly at the limit: "aaaa" → "aa" is 2 = ⌊0.5·4⌋.
+		{"aaaa", "aa", 0.5, 0.5, true},
+		{"aaaa", "a", 0.5, 1, false},
+		// θ = 1 admits everything, including maximally distant strings.
+		{"abc", "xyz", 1, 1, true},
+		// θ·maxLen irrepresentable: 15/22·22 rounds to 14.999…8, but a
+		// distance of 15 over 22 runes compares equal to θ in the final
+		// float check and must pass (the band-limit rounding regression).
+		{strings.Repeat("a", 22), strings.Repeat("b", 15) + strings.Repeat("a", 7),
+			15.0 / 22, 15.0 / 22, true},
+		// Same shape at the band radius 0→1 boundary: θ = 1/49.
+		{strings.Repeat("a", 49), strings.Repeat("a", 48) + "b",
+			1.0 / 49, 1.0 / 49, true},
+		// θ = 0 admits exact matches only.
+		{"abc", "abc", 0, 0, true},
+		{"abc", "abd", 0, 1, false},
+	}
+	for _, c := range cases {
+		dist, ok := WithinThreshold(c.a, c.b, c.theta)
+		if ok != c.ok || dist != c.dist {
+			t.Errorf("WithinThreshold(%q, %q, %v) = (%v, %v), want (%v, %v)",
+				c.a, c.b, c.theta, dist, ok, c.dist, c.ok)
+		}
 	}
 }
 
