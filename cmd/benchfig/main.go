@@ -20,13 +20,21 @@
 // experiment, and the ablations that reuse cached pairs); the Figure 16
 // timing runs and the ablations' timed sections drive the engines directly
 // and stay silent so the measurements are not perturbed.
+//
+// -json FILE additionally records the Figure 16 wall-clock timings in the
+// shared benchmark-baseline schema (internal/benchjson) — the same schema
+// BENCH_refine.json uses and CI's benchstat step consumes through
+// cmd/benchgate, so locally measured numbers and CI numbers are directly
+// comparable (`benchgate -baseline FILE -emit | benchstat ...`).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"rdfalign/internal/benchjson"
 	"rdfalign/internal/core"
 	"rdfalign/internal/experiments"
 )
@@ -37,6 +45,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "override the dataset seed (0 = default)")
 	theta := flag.Float64("theta", 0, "override θ (0 = paper default 0.65)")
 	progress := flag.Bool("progress", false, "stream per-round alignment progress to stderr (pair-based figures and archive)")
+	jsonOut := flag.String("json", "", "write the Figure 16 timings to this file in the BENCH_refine.json schema")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -64,7 +73,6 @@ func main() {
 		"13": func() fmt.Stringer { return env.Fig13() },
 		"14": func() fmt.Stringer { return env.Fig14() },
 		"15": func() fmt.Stringer { return env.Fig15() },
-		"16": func() fmt.Stringer { return env.Fig16() },
 	}
 	order := []string{"9", "10", "11", "12", "13", "14", "15", "16"}
 	ablations := []func() fmt.Stringer{
@@ -73,6 +81,14 @@ func main() {
 		func() fmt.Stringer { return env.AblationRefinement() },
 		func() fmt.Stringer { return env.AblationContext() },
 		func() fmt.Stringer { return env.AblationFlooding() },
+	}
+
+	// Figure 16 keeps its result around so -json can record the timings
+	// without a second (re-measured) run.
+	var fig16 *experiments.Fig16Result
+	runners["16"] = func() fmt.Stringer {
+		fig16 = env.Fig16()
+		return fig16
 	}
 
 	switch *fig {
@@ -95,4 +111,41 @@ func main() {
 		}
 		fmt.Println(run())
 	}
+
+	if *jsonOut != "" {
+		if fig16 == nil {
+			fig16 = env.Fig16()
+		}
+		if err := writeFig16JSON(*jsonOut, fig16, *scale); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeFig16JSON records the scalability timings in the shared baseline
+// schema, one benchmark-style name per (pair, method) so benchgate and
+// benchstat can compare runs directly.
+func writeFig16JSON(path string, r *experiments.Fig16Result, scale float64) error {
+	w := benchjson.Workload{
+		Name: "BenchmarkFig16DBpediaScalability",
+		Note: fmt.Sprintf("benchfig -fig 16 -scale %g: wall-clock alignment times on consecutive DBpedia pairs", scale),
+	}
+	for _, row := range r.Rows {
+		prefix := "BenchmarkFig16DBpediaScalability/pair-" + row.Pair
+		w.Results = append(w.Results,
+			benchjson.Result{Bench: prefix + "/trivial", NsOp: float64(row.Trivial.Nanoseconds())},
+			benchjson.Result{Bench: prefix + "/hybrid", NsOp: float64(row.Hybrid.Nanoseconds())},
+			benchjson.Result{Bench: prefix + "/overlap", NsOp: float64(row.Overlap.Nanoseconds())},
+		)
+	}
+	f := benchjson.File{
+		Description: "benchfig Figure 16 timings in the shared BENCH_refine.json schema (internal/benchjson)",
+		Workloads:   []benchjson.Workload{w},
+	}
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -71,8 +71,18 @@
 // identical — color for color — to exhaustive recoloring, but the
 // per-round cost is proportional to the work actually remaining; on graphs
 // where most nodes stabilise early the engine is one to two orders of
-// magnitude faster (see BENCH_refine.json). WithParallelism chunks large
-// frontiers across a worker pool on top. The extended characterisations
+// magnitude faster (see BENCH_refine.json).
+//
+// Refinement colors are interned by hash: each recolor's canonical
+// (previous color, pair list) signature is hashed directly off the pair
+// slices — no byte-key serialisation — and resolved through an
+// open-addressed table that falls back to structural comparison on hash
+// collision, so collisions cost a comparison, never a wrong answer.
+// WithParallelism chunks large frontiers across a worker pool whose
+// workers intern concurrently through a sharded (lock-striped) interner; a
+// post-round rank-reconciliation pass assigns colors in the sequential
+// engine's order, so colorings are bit-identical across worker counts and
+// hash seeds (property-tested). The extended characterisations
 // (WithContextual, WithAdaptive, WithKeyPredicates) read inbound and
 // predicate-occurrence neighbourhoods the outbound dependency frontier
 // does not cover, so they refine by exhaustive recoloring as before.

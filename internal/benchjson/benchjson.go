@@ -1,0 +1,164 @@
+// Package benchjson defines the benchmark-baseline JSON schema shared by
+// the checked-in BENCH_refine.json baseline, the CI regression gate
+// (cmd/benchgate) and cmd/benchfig's -json output, so locally recorded and
+// CI-measured numbers are directly comparable — one schema, one parser,
+// one flattening into the Go benchmark text format benchstat consumes.
+package benchjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// File is the top-level baseline document.
+type File struct {
+	Description string     `json:"description"`
+	Date        string     `json:"date,omitempty"`
+	CPU         string     `json:"cpu,omitempty"`
+	Benchtime   string     `json:"benchtime,omitempty"`
+	Workloads   []Workload `json:"workloads"`
+}
+
+// Workload is one benchmark workload. Entries carry either the historical
+// two-engine comparison fields (full_ns_op/worklist_ns_op, kept from the
+// PR 2 baseline) or the general Results form: one entry per benchmark name
+// exactly as `go test -bench` reports it (minus the -GOMAXPROCS suffix).
+// When several workload entries mention the same benchmark name, the
+// later entry wins — appended baselines supersede historical ones.
+type Workload struct {
+	Name string `json:"name"`
+	Note string `json:"note,omitempty"`
+
+	FullNsOp     float64 `json:"full_ns_op,omitempty"`
+	WorklistNsOp float64 `json:"worklist_ns_op,omitempty"`
+	Speedup      float64 `json:"speedup,omitempty"`
+
+	Results []Result `json:"results,omitempty"`
+}
+
+// Result is one measured configuration of a workload.
+type Result struct {
+	Bench string  `json:"bench"`
+	NsOp  float64 `json:"ns_op"`
+}
+
+// ReadFile loads a baseline document.
+func ReadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Flatten resolves the document into one ns/op value per benchmark name:
+// historical full/worklist fields expand to "<name>/full" and
+// "<name>/worklist", Results entries are taken verbatim, and later
+// workloads override earlier ones per benchmark name.
+func (f *File) Flatten() map[string]float64 {
+	out := make(map[string]float64)
+	for _, w := range f.Workloads {
+		if w.FullNsOp > 0 {
+			out[w.Name+"/full"] = w.FullNsOp
+		}
+		if w.WorklistNsOp > 0 {
+			out[w.Name+"/worklist"] = w.WorklistNsOp
+		}
+		for _, r := range w.Results {
+			if r.NsOp > 0 {
+				out[r.Bench] = r.NsOp
+			}
+		}
+	}
+	return out
+}
+
+// WriteBenchText renders a flattened baseline in the Go benchmark text
+// format benchstat consumes, in sorted name order.
+func WriteBenchText(w io.Writer, flat map[string]float64) error {
+	names := make([]string, 0, len(flat))
+	for n := range flat {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "%s 1 %.0f ns/op\n", n, flat[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// procsSuffix matches the trailing -GOMAXPROCS decoration of benchmark
+// names in `go test -bench` output (e.g. "BenchmarkX/worklist-8").
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
+// NormalizeName strips the -GOMAXPROCS suffix so results from machines
+// with different core counts key identically.
+func NormalizeName(name string) string {
+	return procsSuffix.ReplaceAllString(name, "")
+}
+
+// ParseBenchOutput reads `go test -bench` output and returns every
+// measured (benchmark, ns/op) line with normalized names, in input order.
+// Repeated names (from -count) are returned repeatedly; use Median to
+// collapse them.
+func ParseBenchOutput(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		for i := 2; i < len(fields); i++ {
+			if fields[i] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad ns/op in %q: %w", line, err)
+			}
+			out = append(out, Result{Bench: NormalizeName(fields[0]), NsOp: v})
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Median collapses repeated benchmark names to their median ns/op — the
+// aggregation the CI gate uses, since sub-millisecond benchmarks at small
+// -benchtime pick up scheduler-noise outliers that a mean would let
+// dominate.
+func Median(results []Result) map[string]float64 {
+	byName := make(map[string][]float64)
+	for _, r := range results {
+		byName[r.Bench] = append(byName[r.Bench], r.NsOp)
+	}
+	out := make(map[string]float64, len(byName))
+	for n, vs := range byName {
+		sort.Float64s(vs)
+		if len(vs)%2 == 1 {
+			out[n] = vs[len(vs)/2]
+		} else {
+			out[n] = (vs[len(vs)/2-1] + vs[len(vs)/2]) / 2
+		}
+	}
+	return out
+}

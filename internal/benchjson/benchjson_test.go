@@ -1,0 +1,100 @@
+package benchjson
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFlattenLaterEntriesWin(t *testing.T) {
+	f := &File{Workloads: []Workload{
+		{Name: "BenchmarkX", FullNsOp: 100, WorklistNsOp: 50},
+		{Name: "BenchmarkX", Results: []Result{
+			{Bench: "BenchmarkX/worklist", NsOp: 40},
+			{Bench: "BenchmarkX/worklist-par", NsOp: 30},
+		}},
+	}}
+	flat := f.Flatten()
+	if flat["BenchmarkX/full"] != 100 {
+		t.Errorf("full = %v, want 100", flat["BenchmarkX/full"])
+	}
+	if flat["BenchmarkX/worklist"] != 40 {
+		t.Errorf("worklist = %v, want the later entry's 40", flat["BenchmarkX/worklist"])
+	}
+	if flat["BenchmarkX/worklist-par"] != 30 {
+		t.Errorf("worklist-par = %v, want 30", flat["BenchmarkX/worklist-par"])
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkRefine/worklist-8":     "BenchmarkRefine/worklist",
+		"BenchmarkRefine/worklist-par-8": "BenchmarkRefine/worklist-par",
+		"BenchmarkRefine/worklist":       "BenchmarkRefine/worklist",
+		"BenchmarkIntern":                "BenchmarkIntern",
+	} {
+		if got := NormalizeName(in); got != want {
+			t.Errorf("NormalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseBenchOutputAndAverage(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+BenchmarkRefineX/worklist-2         	       5	 100 ns/op	 10 B/op	 1 allocs/op
+BenchmarkRefineX/worklist-2         	       5	 300 ns/op
+BenchmarkRefineX/full-2             	       5	 1000 ns/op
+PASS
+`
+	results, err := ParseBenchOutput(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	med := Median(results)
+	if med["BenchmarkRefineX/worklist"] != 200 {
+		t.Errorf("median worklist = %v, want 200", med["BenchmarkRefineX/worklist"])
+	}
+	if med["BenchmarkRefineX/full"] != 1000 {
+		t.Errorf("full = %v, want 1000", med["BenchmarkRefineX/full"])
+	}
+}
+
+func TestMedianResistsOutliers(t *testing.T) {
+	med := Median([]Result{
+		{Bench: "BenchmarkX", NsOp: 100},
+		{Bench: "BenchmarkX", NsOp: 110},
+		{Bench: "BenchmarkX", NsOp: 9000}, // scheduler hiccup
+	})
+	if med["BenchmarkX"] != 110 {
+		t.Errorf("median = %v, want 110", med["BenchmarkX"])
+	}
+	if even := Median([]Result{{Bench: "BenchmarkY", NsOp: 100}, {Bench: "BenchmarkY", NsOp: 200}})["BenchmarkY"]; even != 150 {
+		t.Errorf("even-count median = %v, want 150", even)
+	}
+}
+
+func TestReadFileBaseline(t *testing.T) {
+	// The checked-in baseline must stay parseable by the shared schema.
+	f, err := ReadFile(filepath.Join("..", "..", "BENCH_refine.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := f.Flatten()
+	if len(flat) == 0 {
+		t.Fatal("baseline flattened to nothing")
+	}
+	if _, ok := flat["BenchmarkRefineDeblankWideDeep/worklist"]; !ok {
+		t.Error("baseline lacks BenchmarkRefineDeblankWideDeep/worklist")
+	}
+	var sb strings.Builder
+	if err := WriteBenchText(&sb, flat); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "BenchmarkRefineDeblankWideDeep/worklist 1 ") {
+		t.Errorf("bench text missing expected line:\n%s", sb.String())
+	}
+}

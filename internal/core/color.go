@@ -14,7 +14,6 @@
 package core
 
 import (
-	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -47,35 +46,81 @@ type ColorPair struct {
 // Identical constructions yield identical Color values, so color equality
 // is integer equality and each refinement iteration costs O(Σ deg·log deg).
 //
-// An Interner is not safe for concurrent use.
+// Composite signatures are interned by hash (sighash.go): the canonical
+// (prev, lists) form is hashed directly from the ColorPair slices — no
+// byte-key serialisation, no allocation on lookup — and resolved through an
+// open-addressed table whose hash-equal candidates are compared structurally
+// against the composites store, so collisions cost a comparison, never a
+// wrong answer. Colors are assigned in interning order, making colorings
+// independent of the hash seed. The historical string-keyed implementation
+// survives as stringInterner (stringintern.go) and is used only by the
+// differential tests.
+//
+// An Interner is not safe for concurrent mutation. Lookups (including the
+// read-only probes of Composite on already-interned signatures) are safe
+// concurrently with each other as long as no call allocates; the sharded
+// concurrent interner (shardintern.go) builds on that by buffering new
+// signatures in lock-striped shards during a parallel round and committing
+// them in a deterministic post-round reconciliation pass.
 type Interner struct {
 	labels map[rdf.Label]Color
-	comps  map[string]Color
+	table  sigTable
 	blank  Color
 	next   Color
-	// composites remembers the structure of composite colors so that
-	// derivation trees can be rendered for debugging and so tests can
-	// inspect the DAG. Index: composite color → entry.
-	composites map[Color]compositeEntry
-	keyBuf     []byte
+	seed   uint64
+	// composites is the source of truth for composite color structure,
+	// indexed by Color (kind sigKindNone for base/fresh colors): the hash
+	// table resolves into it for collision checking, derivation trees are
+	// rendered from it, and tests inspect the DAG through it.
+	composites []compositeEntry
+	// pairArena backs the stored pair lists of 'P'-kind entries so that
+	// interning a new composite does not allocate per color. Entries hold
+	// sub-slices of earlier arena generations; they stay valid when the
+	// arena grows because stored lists are never appended to.
+	pairArena []ColorPair
 }
 
-// compositeEntry remembers a composite color's structure. lists[0] holds
-// the outbound pair set; directed composites add lists[1] (inbound pairs,
-// §3.3/§6 context) and adaptive composites lists[2] (predicate-occurrence
-// pairs, §5.1's suggested treatment of predicate-only URIs).
+// compositeEntry kinds. sigKindPairs entries come from Composite (one
+// outbound pair set, stored in pairs); sigKindLists entries come from
+// CompositeLists (positional pair lists: out/in/pred by the §3.3/§5.1
+// conventions, stored in lists). The kinds intern disjointly, mirroring the
+// historical 'P'/'L' key tags.
+const (
+	sigKindNone  uint8 = 0
+	sigKindPairs uint8 = 'P'
+	sigKindLists uint8 = 'L'
+)
+
+// compositeEntry remembers a composite color's structure.
 type compositeEntry struct {
 	prev  Color
-	lists [][]ColorPair
+	kind  uint8
+	pairs []ColorPair   // sigKindPairs: the outbound pair set
+	lists [][]ColorPair // sigKindLists: positional pair lists
 }
 
-// NewInterner returns an empty interner. The blank base color is
-// pre-allocated so that it is stable across uses.
+// outPairs returns the entry's first (outbound) pair list.
+func (e *compositeEntry) outPairs() []ColorPair {
+	if e.kind == sigKindPairs {
+		return e.pairs
+	}
+	return e.lists[0]
+}
+
+// NewInterner returns an empty interner with the default hash seed. The
+// blank base color is pre-allocated so that it is stable across uses.
 func NewInterner() *Interner {
+	return NewInternerSeeded(sigSeedDefault)
+}
+
+// NewInternerSeeded is NewInterner with an explicit signature-hash seed.
+// The seed perturbs hash-table and shard placement only; the colors an
+// interner assigns depend solely on the order of interning calls, so
+// colorings are bit-identical across seeds (property-tested).
+func NewInternerSeeded(seed uint64) *Interner {
 	in := &Interner{
-		labels:     make(map[rdf.Label]Color),
-		comps:      make(map[string]Color),
-		composites: make(map[Color]compositeEntry),
+		labels: make(map[rdf.Label]Color),
+		seed:   seed,
 	}
 	in.blank = in.Fresh()
 	in.labels[rdf.BlankLabel()] = in.blank
@@ -92,7 +137,24 @@ func (in *Interner) Blank() Color { return in.blank }
 func (in *Interner) Fresh() Color {
 	c := in.next
 	in.next++
+	if int(c) >= len(in.composites) {
+		grown := make([]compositeEntry, int(c)+1+len(in.composites))
+		copy(grown, in.composites)
+		in.composites = grown
+	}
 	return c
+}
+
+// entry returns the composite entry of c, or nil when c is not a composite
+// color. The pointer is invalidated by the next Fresh call.
+func (in *Interner) entry(c Color) *compositeEntry {
+	if int(c) >= len(in.composites) {
+		return nil
+	}
+	if e := &in.composites[c]; e.kind != sigKindNone {
+		return e
+	}
+	return nil
 }
 
 // Base returns the color of a node label, allocating it on first use.
@@ -128,21 +190,53 @@ func (in *Interner) Composite(prev Color, pairs []ColorPair) Color {
 	return in.compositeCanonical(prev, pairs)
 }
 
+// stablePairs reports the stable-tree collapse condition for plain
+// composites: prev is itself a single-list composite of exactly pairs.
+func (in *Interner) stablePairs(prev Color, pairs []ColorPair) bool {
+	e := in.entry(prev)
+	if e == nil {
+		return false
+	}
+	switch e.kind {
+	case sigKindPairs:
+		return pairsEqual(e.pairs, pairs)
+	case sigKindLists:
+		return len(e.lists) == 1 && pairsEqual(e.lists[0], pairs)
+	}
+	return false
+}
+
 // compositeCanonical is Composite for pair sets that are already sorted and
-// deduplicated (the parallel engine canonicalises in its gather phase).
+// deduplicated (the worklist gather phases canonicalise in place).
 func (in *Interner) compositeCanonical(prev Color, pairs []ColorPair) Color {
-	if e, ok := in.composites[prev]; ok && len(e.lists) == 1 && pairsEqual(e.lists[0], pairs) {
+	if in.stablePairs(prev, pairs) {
 		return prev
 	}
-	key := in.compositeKey('P', prev, pairs)
-	if c, ok := in.comps[string(key)]; ok {
+	h := sigHashPairs(in.seed, prev, pairs)
+	return in.internPairs(h, prev, pairs)
+}
+
+// internPairs resolves the plain-composite signature (prev, pairs) under
+// hash h, allocating a new color on a miss. Split from compositeCanonical
+// so the forced-collision tests can intern distinct signatures under one
+// hash and exercise the structural-comparison fallback directly.
+func (in *Interner) internPairs(h uint64, prev Color, pairs []ColorPair) Color {
+	if c, ok := in.lookupPairs(h, prev, pairs); ok {
 		return c
 	}
 	c := in.Fresh()
-	in.comps[string(key)] = c
-	in.composites[c] = compositeEntry{prev: prev,
-		lists: [][]ColorPair{append([]ColorPair(nil), pairs...)}}
+	in.table.insert(h, c)
+	in.composites[c] = compositeEntry{prev: prev, kind: sigKindPairs, pairs: in.storePairs(pairs)}
 	return c
+}
+
+// storePairs copies pairs into the interner's arena and returns the stored
+// view. The returned slice is never appended to, so later arena growth
+// cannot alias it.
+func (in *Interner) storePairs(pairs []ColorPair) []ColorPair {
+	lo := len(in.pairArena)
+	in.pairArena = append(in.pairArena, pairs...)
+	return in.pairArena[lo:len(in.pairArena):len(in.pairArena)]
 }
 
 // CompositeDirected is Composite extended with a second pair set gathered
@@ -164,32 +258,29 @@ func (in *Interner) CompositeLists(prev Color, lists ...[]ColorPair) Color {
 		sortPairs(lists[i])
 		lists[i] = dedupPairs(lists[i])
 	}
-	if e, ok := in.composites[prev]; ok && listsEqual(e.lists, lists) {
-		return prev
-	}
-	// Every list is length-prefixed so encodings cannot shift into each
-	// other; the leading count separates arities.
-	buf := append(in.keyBuf[:0], 'L')
-	buf = binary.AppendUvarint(buf, uint64(prev))
-	buf = binary.AppendUvarint(buf, uint64(len(lists)))
-	for _, pairs := range lists {
-		buf = binary.AppendUvarint(buf, uint64(len(pairs)))
-		for _, pr := range pairs {
-			buf = binary.AppendUvarint(buf, uint64(pr.P))
-			buf = binary.AppendUvarint(buf, uint64(pr.O))
+	if e := in.entry(prev); e != nil {
+		switch e.kind {
+		case sigKindPairs:
+			if len(lists) == 1 && pairsEqual(e.pairs, lists[0]) {
+				return prev
+			}
+		case sigKindLists:
+			if listsEqual(e.lists, lists) {
+				return prev
+			}
 		}
 	}
-	in.keyBuf = buf
-	if c, ok := in.comps[string(buf)]; ok {
+	h := sigHashLists(in.seed, prev, lists)
+	if c, ok := in.lookupLists(h, prev, lists); ok {
 		return c
 	}
 	c := in.Fresh()
-	in.comps[string(buf)] = c
+	in.table.insert(h, c)
 	stored := make([][]ColorPair, len(lists))
 	for i, pairs := range lists {
-		stored[i] = append([]ColorPair(nil), pairs...)
+		stored[i] = in.storePairs(pairs)
 	}
-	in.composites[c] = compositeEntry{prev: prev, lists: stored}
+	in.composites[c] = compositeEntry{prev: prev, kind: sigKindLists, lists: stored}
 	return c
 }
 
@@ -217,28 +308,15 @@ func pairsEqual(a, b []ColorPair) bool {
 	return true
 }
 
-// compositeKey encodes (prev, pairs) canonically, with a leading tag byte
-// that keeps plain and directed keys disjoint. The buffer is reused across
-// calls; the map insert copies it via the string conversion.
-func (in *Interner) compositeKey(tag byte, prev Color, pairs []ColorPair) []byte {
-	buf := append(in.keyBuf[:0], tag)
-	buf = binary.AppendUvarint(buf, uint64(prev))
-	for _, pr := range pairs {
-		buf = binary.AppendUvarint(buf, uint64(pr.P))
-		buf = binary.AppendUvarint(buf, uint64(pr.O))
-	}
-	in.keyBuf = buf
-	return buf
-}
-
-// IsComposite reports whether c was produced by Composite, and if so
-// returns its parts. The returned slice must not be modified.
+// IsComposite reports whether c was produced by Composite (or the first
+// list of a CompositeLists color), and if so returns its parts. The
+// returned slice must not be modified.
 func (in *Interner) IsComposite(c Color) (prev Color, pairs []ColorPair, ok bool) {
-	e, ok := in.composites[c]
-	if !ok {
+	e := in.entry(c)
+	if e == nil {
 		return 0, nil, false
 	}
-	return e.prev, e.lists[0], true
+	return e.prev, e.outPairs(), true
 }
 
 // DerivationString renders the derivation DAG rooted at c up to the given
@@ -248,12 +326,12 @@ func (in *Interner) DerivationString(c Color, depth int) string {
 	if depth <= 0 {
 		return "…"
 	}
-	e, ok := in.composites[c]
-	if !ok {
+	e := in.entry(c)
+	if e == nil {
 		return fmt.Sprintf("c%d", c)
 	}
 	s := "(" + in.DerivationString(e.prev, depth-1) + " {"
-	for i, pr := range e.lists[0] {
+	for i, pr := range e.outPairs() {
 		if i > 0 {
 			s += " "
 		}

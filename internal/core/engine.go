@@ -32,7 +32,10 @@ type Engine struct {
 	Hooks Hooks
 	// Workers > 1 parallelises recoloring across that many goroutines
 	// when the options permit (the parallel path implements only the
-	// default outbound recoloring); <= 1 runs sequentially.
+	// default outbound recoloring); <= 1 runs sequentially. Workers
+	// gather and intern concurrently (sharded interner + post-round rank
+	// reconciliation), and every worker count yields the identical
+	// coloring.
 	Workers int
 	// FullRecolor disables the incremental worklist and recolors the
 	// entire recolor set every round — the pre-worklist reference
@@ -180,9 +183,10 @@ func (e *Engine) HybridFromDeblank(c *rdf.Combined, deblank *Partition) (*Partit
 // recoloring always uses the paper's default outbound characterisation; the
 // engine's Opt does not apply. See the package-level RefineWeighted for the
 // convergence argument.
-// The default strategy is the incremental worklist engine (worklist.go);
-// FullRecolor selects the full-recolor reference loop. Both produce
-// bit-identical colors and weights.
+// The default strategy is the incremental worklist engine (worklist.go),
+// which also honours Workers on large frontiers (concurrent gather,
+// intern and reweight); FullRecolor selects the full-recolor reference
+// loop. Every configuration produces bit-identical colors and weights.
 func (e *Engine) RefineWeighted(g *rdf.Graph, xi *Weighted, x []rdf.NodeID, eps float64) (*Weighted, int, error) {
 	if eps <= 0 {
 		eps = DefaultEpsilon

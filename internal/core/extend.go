@@ -11,7 +11,10 @@ import (
 // approaches that consider the incoming edges or only a selected subset of
 // edges, such as those determined by the type of a node"; §6 future work:
 // "using not only the contents of a node but also its context" and "a
-// notion of a key for graph databases").
+// notion of a key for graph databases"). Extended recoloring interns
+// through CompositeLists, the multi-list ('L'-kind) domain of the hash
+// interner — disjoint from the plain Composite domain, so extended and
+// default colors never alias within one interner.
 
 // Direction selects which neighbourhood recoloring draws on.
 type Direction uint8

@@ -11,7 +11,11 @@ import "rdfalign/internal/rdf"
 // This is the quadratic reference implementation used to validate
 // Proposition 1 (the refinement engine captures Bisim(G)) in tests and to
 // ablate the refinement engine in benchmarks. It is exponential-free but
-// O(|N|² · avg-deg²) and intended for small graphs only.
+// O(|N|² · avg-deg²) and intended for small graphs only. Being
+// interner-free, it also anchors the interning tests: together with the
+// string-keyed stringInterner (stringintern.go) it gives the hash interner
+// two independent references — one for the equivalence relation, one for
+// the color assignment.
 func NaiveMaximalBisimulation(g *rdf.Graph) *Relation {
 	n := g.NumNodes()
 	rel := NewRelation(n)

@@ -7,8 +7,11 @@ import (
 )
 
 // RefineParallel computes the same fixpoint as Refine with each iteration's
-// gather phase parallelised across workers; see parallelGatherer
-// (worklist.go) for the phase structure and the color-identity guarantee.
+// gather-and-intern phase parallelised across workers: every worker interns
+// its chunk's signatures directly through the sharded concurrent interner,
+// and the post-round rank reconciliation keeps the coloring bit-identical
+// to the sequential run; see parallelGatherer (worklist.go) and
+// shardintern.go for the phase structure and the color-identity guarantee.
 // workers <= 0 selects GOMAXPROCS; with one worker, or a dirty frontier
 // below 256 nodes, rounds run sequentially.
 func RefineParallel(g *rdf.Graph, p *Partition, x []rdf.NodeID, workers int) (*Partition, int) {

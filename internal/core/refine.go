@@ -12,7 +12,10 @@ import (
 const DefaultMaxIterations = 1 << 20
 
 // recolor computes recolor_λ(n) = (λ(n), {(λ(p), λ(o)) | (p,o) ∈ out(n)})
-// (§3.2 equation 1) using the scratch pair buffer.
+// (§3.2 equation 1) using the scratch pair buffer. The composite is
+// hash-interned (sighash.go): beyond gathering the pairs, a recolor costs
+// one signature hash and an open-addressed probe, with no allocation
+// unless the color is genuinely new.
 func recolor(g *rdf.Graph, p *Partition, n rdf.NodeID, scratch []ColorPair) (Color, []ColorPair) {
 	out := g.Out(n)
 	scratch = scratch[:0]

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"sort"
+	"sync"
+)
+
+// This file implements the sharded concurrent interner used by the parallel
+// refinement rounds: workers intern composite signatures directly during the
+// gather phase instead of shipping canonical pair lists to a serial intern
+// phase, removing the single-threaded choke point the string-keyed interner
+// forced on the parallel engine.
+//
+// # Structure
+//
+// During a round the parent Interner is frozen: workers probe its hash
+// table and composites store read-only (already-interned signatures and the
+// stable-tree collapse resolve entirely without coordination, and in steady
+// state almost every recolor hits one of those two cases). Signatures not
+// yet known to the parent are routed by their hash to one of internShards
+// lock-striped shards; the shard's mutex guards a small open-addressed
+// pending table and the pending-signature list. Equal signatures hash
+// equally and therefore always meet in the same shard, where the structural
+// comparison deduplicates them; distinct shards never need to agree on
+// anything during the round.
+//
+// # Deterministic color assignment
+//
+// Provisional (shard, index) references are NOT colors: which shard a
+// signature lands in depends on the hash seed, and which worker first
+// inserts it depends on scheduling. Determinism is restored by a post-round
+// rank-reconciliation pass: every pending signature records the minimal
+// round-order index (rank) of the nodes that produced it, and reconcile
+// commits pending signatures to the parent in ascending rank order. That is
+// exactly the order in which the sequential engine — which interns the
+// frontier in ascending node order — would have allocated them, so the
+// final colorings are bit-identical across worker counts and hash seeds
+// (property-tested). Signatures computed within a round depend only on the
+// pre-round coloring (rounds buffer their changes), so no intra-round
+// ordering can leak into the signatures themselves.
+const (
+	internShardBits = 5
+	internShards    = 1 << internShardBits // low hash bits select the shard
+)
+
+// pendSlot is one slot of a shard's open-addressed pending table:
+// signature hash plus pending-list index stored +1 so zero reads as empty.
+// A slot is live only when its gen matches the shard's current round
+// generation — reset retires a whole round by bumping the generation
+// instead of zeroing the (peak-sized) slot array.
+type pendSlot struct {
+	hash uint64
+	ref  uint32
+	gen  uint32
+}
+
+// pendingSig is a signature first seen during the current round, awaiting a
+// color. pairs aliases a gather arena and is valid only until reconcile
+// copies it into the parent's store.
+type pendingSig struct {
+	hash  uint64
+	prev  Color
+	pairs []ColorPair
+	rank  int32
+	final Color
+}
+
+// internShard is one lock stripe. The padding keeps neighbouring shards off
+// one cache line under concurrent locking.
+type internShard struct {
+	mu      sync.Mutex
+	slots   []pendSlot
+	mask    uint64
+	gen     uint32
+	pending []pendingSig
+	_       [16]byte
+}
+
+// sigRef is the result of one concurrent intern: either a final color
+// (shard < 0: the signature was already known, or the stable-tree collapse
+// applied) or a provisional reference into a shard's pending list.
+type sigRef struct {
+	color Color
+	shard int16
+	idx   int32
+}
+
+// shardedInterner is the per-round concurrent view over a parent Interner.
+// It is reused across rounds via reset; reconcile commits a round's pending
+// signatures into the parent.
+type shardedInterner struct {
+	parent *Interner
+	shards [internShards]internShard
+	order  []*pendingSig
+}
+
+func newShardedInterner(parent *Interner) *shardedInterner {
+	return &shardedInterner{parent: parent}
+}
+
+// reset retires the pending state for a new round in O(1) per shard: the
+// generation bump invalidates every live slot (a stale slot reads as
+// empty, so probe chains stay correct — the table never deletes within a
+// round). Only on the astronomically distant generation wrap are the slot
+// arrays actually cleared.
+func (si *shardedInterner) reset() {
+	for s := range si.shards {
+		sh := &si.shards[s]
+		sh.gen++
+		if sh.gen == 0 {
+			for i := range sh.slots {
+				sh.slots[i] = pendSlot{}
+			}
+			sh.gen = 1
+		}
+		sh.pending = sh.pending[:0]
+	}
+	si.order = si.order[:0]
+}
+
+// intern resolves the canonical plain-composite signature (prev, pairs) of
+// the node at round-order index rank. pairs must be sorted and deduplicated
+// and must stay untouched until reconcile (workers hand in arena views).
+// Safe for concurrent use by the round's workers; the parent must not be
+// mutated until reconcile.
+func (si *shardedInterner) intern(rank int32, prev Color, pairs []ColorPair) sigRef {
+	in := si.parent
+	if in.stablePairs(prev, pairs) {
+		return sigRef{color: prev, shard: -1}
+	}
+	h := sigHashPairs(in.seed, prev, pairs)
+	if c, ok := in.lookupPairs(h, prev, pairs); ok {
+		return sigRef{color: c, shard: -1}
+	}
+	s := int16(h & (internShards - 1))
+	sh := &si.shards[s]
+	sh.mu.Lock()
+	idx := sh.internPending(h, prev, pairs, rank)
+	sh.mu.Unlock()
+	return sigRef{shard: s, idx: idx}
+}
+
+// internPending resolves (h, prev, pairs) within the shard's pending set,
+// inserting on a miss. Caller holds the shard lock.
+func (sh *internShard) internPending(h uint64, prev Color, pairs []ColorPair, rank int32) int32 {
+	if sh.slots == nil || len(sh.pending) >= len(sh.slots)*7/10 {
+		sh.grow()
+	}
+	// The low hash bits are constant within a shard (they routed here);
+	// probe homes come from the next bits so entries spread over the whole
+	// table instead of clustering on every-internShards-th slot.
+	i := (h >> internShardBits) & sh.mask
+	for {
+		s := sh.slots[i]
+		if s.ref == 0 || s.gen != sh.gen {
+			break // empty, or retired by a previous round's reset
+		}
+		if s.hash == h {
+			p := &sh.pending[s.ref-1]
+			if p.prev == prev && pairsEqual(p.pairs, pairs) {
+				if rank < p.rank {
+					p.rank = rank
+				}
+				return int32(s.ref - 1)
+			}
+		}
+		i = (i + 1) & sh.mask
+	}
+	sh.pending = append(sh.pending, pendingSig{hash: h, prev: prev, pairs: pairs, rank: rank, final: NoColor})
+	sh.slots[i] = pendSlot{hash: h, ref: uint32(len(sh.pending)), gen: sh.gen}
+	return int32(len(sh.pending) - 1)
+}
+
+// grow doubles (or initialises) the shard's pending table, dropping slots
+// retired by earlier generations.
+func (sh *internShard) grow() {
+	n := sigTableMinSize
+	if len(sh.slots) > 0 {
+		n = len(sh.slots) * 2
+	}
+	old := sh.slots
+	sh.slots = make([]pendSlot, n)
+	sh.mask = uint64(n - 1)
+	for _, s := range old {
+		if s.ref == 0 || s.gen != sh.gen {
+			continue
+		}
+		i := (s.hash >> internShardBits) & sh.mask
+		for sh.slots[i].ref != 0 {
+			i = (i + 1) & sh.mask
+		}
+		sh.slots[i] = s
+	}
+}
+
+// reconcile commits the round's pending signatures to the parent in
+// ascending rank order — the sequential engine's allocation order — making
+// the assigned colors independent of worker count, scheduling and hash
+// seed. Must be called after all workers have finished, from one goroutine.
+func (si *shardedInterner) reconcile() {
+	order := si.order[:0]
+	for s := range si.shards {
+		sh := &si.shards[s]
+		for j := range sh.pending {
+			order = append(order, &sh.pending[j])
+		}
+	}
+	// Ranks are distinct: a rank is the index of the first node that
+	// produced the signature, and each node produces exactly one.
+	sort.Slice(order, func(a, b int) bool { return order[a].rank < order[b].rank })
+	in := si.parent
+	for _, p := range order {
+		c := in.Fresh()
+		in.table.insert(p.hash, c)
+		in.composites[c] = compositeEntry{prev: p.prev, kind: sigKindPairs, pairs: in.storePairs(p.pairs)}
+		p.final = c
+	}
+	si.order = order
+}
+
+// resolve maps an intern result to its final color. Valid after reconcile.
+func (si *shardedInterner) resolve(r sigRef) Color {
+	if r.shard < 0 {
+		return r.color
+	}
+	return si.shards[r.shard].pending[r.idx].final
+}

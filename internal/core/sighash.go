@@ -1,0 +1,173 @@
+package core
+
+// This file implements the hash side of composite-signature interning: a
+// 64-bit signature hash computed directly from the canonical (prev, lists)
+// form — no byte-key serialisation, no allocation — and the open-addressed
+// table that resolves a hash to a Color. The table stores only (hash, color)
+// pairs; on a hash hit the candidate color's entry in Interner.composites is
+// compared structurally (pairsEqual/listsEqual), so composites stays the
+// single source of truth for what a color means and hash collisions cost a
+// comparison, never a wrong answer. Hash-based signature interning is the
+// partitioning strategy the fastest k-bisimulation implementations use
+// (Rau, Richerby & Scherp 2022); here it replaces the string-keyed map of
+// the seed implementation (kept as stringInterner for differential tests).
+//
+// The hash seed perturbs bucket placement only: colors are assigned in
+// interning order, so colorings are bit-identical across seeds. Tests vary
+// the seed to prove that (and to shuffle shard routing in the concurrent
+// interner, see shardintern.go).
+
+// sigSeedDefault is the default interner hash seed (an arbitrary odd
+// constant; NewInternerSeeded accepts any value).
+const sigSeedDefault uint64 = 0x9e3779b97f4a7c15
+
+// Domain separators keeping Composite and CompositeLists signatures
+// disjoint, mirroring the 'P'/'L' tag bytes of the historical string keys.
+const (
+	sigTagPairs uint64 = 'P'
+	sigTagLists uint64 = 'L'
+)
+
+// mix64 is the splitmix64 finalizer: a cheap full-avalanche permutation of
+// uint64, used as the compression function of the signature hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// pairWord packs one ColorPair into the word fed to the mixer.
+func pairWord(pr ColorPair) uint64 {
+	return uint64(uint32(pr.P))<<32 | uint64(uint32(pr.O))
+}
+
+// sigHashPairs hashes the canonical (prev, pairs) signature of a plain
+// composite. pairs must already be sorted and deduplicated; the chain of
+// mixes is positional, and the trailing length mix keeps prefixes distinct.
+func sigHashPairs(seed uint64, prev Color, pairs []ColorPair) uint64 {
+	h := mix64(seed ^ sigTagPairs ^ uint64(uint32(prev))*0x9e3779b97f4a7c15)
+	for _, pr := range pairs {
+		h = mix64(h ^ pairWord(pr))
+	}
+	return mix64(h ^ uint64(len(pairs)))
+}
+
+// sigHashLists hashes the canonical (prev, lists) signature of a positional
+// multi-list composite. Every list is length-prefixed so encodings cannot
+// shift into each other, and the leading arity mix separates arities —
+// the hash-domain analogue of the length-prefixed string keys.
+func sigHashLists(seed uint64, prev Color, lists [][]ColorPair) uint64 {
+	h := mix64(seed ^ sigTagLists ^ uint64(uint32(prev))*0x9e3779b97f4a7c15)
+	h = mix64(h ^ uint64(len(lists)))
+	for _, pairs := range lists {
+		h = mix64(h ^ uint64(len(pairs)))
+		for _, pr := range pairs {
+			h = mix64(h ^ pairWord(pr))
+		}
+	}
+	return h
+}
+
+// sigSlot is one open-addressing slot: the full 64-bit signature hash and
+// the interned color, stored +1 so the zero slot reads as empty.
+type sigSlot struct {
+	hash uint64
+	ref  uint32
+}
+
+// sigTable maps signature hashes to colors with linear probing. It never
+// deletes; growth rehashes at ~70% load using the stored hashes. The zero
+// value is an empty table.
+type sigTable struct {
+	slots []sigSlot
+	mask  uint64
+	count int
+}
+
+const sigTableMinSize = 64
+
+// grow doubles (or initialises) the slot array and reinserts every entry.
+func (t *sigTable) grow() {
+	n := sigTableMinSize
+	if len(t.slots) > 0 {
+		n = len(t.slots) * 2
+	}
+	old := t.slots
+	t.slots = make([]sigSlot, n)
+	t.mask = uint64(n - 1)
+	for _, s := range old {
+		if s.ref == 0 {
+			continue
+		}
+		i := s.hash & t.mask
+		for t.slots[i].ref != 0 {
+			i = (i + 1) & t.mask
+		}
+		t.slots[i] = s
+	}
+}
+
+// insert adds (h, c) to the table. The caller must have established that no
+// structurally equal signature is already present (lookup returned a miss).
+func (t *sigTable) insert(h uint64, c Color) {
+	if t.slots == nil || t.count >= len(t.slots)*7/10 {
+		t.grow()
+	}
+	i := h & t.mask
+	for t.slots[i].ref != 0 {
+		i = (i + 1) & t.mask
+	}
+	t.slots[i] = sigSlot{hash: h, ref: uint32(c) + 1}
+	t.count++
+}
+
+// lookupPairs resolves the plain-composite signature (prev, pairs) under
+// hash h, comparing hash-equal candidates structurally against the
+// interner's composite entries. Only 'P'-kind entries can match, keeping
+// the Composite and CompositeLists domains disjoint.
+func (in *Interner) lookupPairs(h uint64, prev Color, pairs []ColorPair) (Color, bool) {
+	t := &in.table
+	if t.slots == nil {
+		return NoColor, false
+	}
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		s := t.slots[i]
+		if s.ref == 0 {
+			return NoColor, false
+		}
+		if s.hash != h {
+			continue
+		}
+		c := Color(s.ref - 1)
+		e := &in.composites[c]
+		if e.kind == sigKindPairs && e.prev == prev && pairsEqual(e.pairs, pairs) {
+			return c, true
+		}
+	}
+}
+
+// lookupLists is lookupPairs for positional multi-list signatures
+// ('L'-kind entries only).
+func (in *Interner) lookupLists(h uint64, prev Color, lists [][]ColorPair) (Color, bool) {
+	t := &in.table
+	if t.slots == nil {
+		return NoColor, false
+	}
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		s := t.slots[i]
+		if s.ref == 0 {
+			return NoColor, false
+		}
+		if s.hash != h {
+			continue
+		}
+		c := Color(s.ref - 1)
+		e := &in.composites[c]
+		if e.kind == sigKindLists && e.prev == prev && listsEqual(e.lists, lists) {
+			return c, true
+		}
+	}
+}

@@ -81,9 +81,11 @@ func reweight(g *rdf.Graph, w []float64, n rdf.NodeID) float64 {
 }
 
 // RefineWeightedStep is the one-step weighted refinement BisimRefine_X(ξ) of
-// §4.5: colors of nodes in x are refined exactly as in the unweighted case,
-// and their weights are recomputed with reweight (synchronously: all reads
-// see the input weights).
+// §4.5: colors of nodes in x are refined exactly as in the unweighted case
+// (through the same hash-interned recolor, so weighted and unweighted
+// fixpoints share one color universe per interner), and their weights are
+// recomputed with reweight (synchronously: all reads see the input
+// weights).
 func RefineWeightedStep(g *rdf.Graph, xi *Weighted, x []rdf.NodeID) *Weighted {
 	out := xi.Clone()
 	var scratch []ColorPair

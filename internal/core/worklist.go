@@ -94,8 +94,8 @@ func (cc *colorCounts) move(old, new Color) {
 	cc.n[new]++
 }
 
-// equivalentRenaming reports whether applying the round's changes would
-// yield a grouping-equivalent partition (λ ≡ λ', §2.2) — the incremental
+// renameCheck decides whether applying a round's changes would yield a
+// grouping-equivalent partition (λ ≡ λ', §2.2) — the incremental
 // counterpart of equivalentColors. Colors on nodes outside the change set
 // are untouched, so any witnessing bijection must fix them; equivalence
 // therefore holds iff the changes are a consistent, injective renaming of
@@ -106,34 +106,92 @@ func (cc *colorCounts) move(old, new Color) {
 //     (otherwise the class split),
 //  3. no node outside the change set already holds a target color
 //     (otherwise classes merged), and the renaming is injective.
-func equivalentRenaming(changes []change, cc *colorCounts) bool {
+//
+// The forward/backward renaming witnesses are generation-stamped arrays
+// indexed by color and reused across rounds, so the check is O(|changes|)
+// per round with no allocation beyond amortised array growth — long
+// fixpoints with churning change lists (a chain of blanks renames its whole
+// suffix every round) previously spent more on building the per-round
+// witness maps than on recoloring.
+type renameCheck struct {
+	fwd, bwd   []Color // old→new and new→old witnesses, valid when stamped
+	fwdStamp   []int32
+	bwdStamp   []int32
+	moved      []int32 // changes vacating each old color, valid when stamped
+	movedStamp []int32
+	stamp      int32
+}
+
+// ensure grows the stamped arrays to cover color c.
+func (rc *renameCheck) ensure(c Color) {
+	if int(c) < len(rc.fwd) {
+		return
+	}
+	n := int(c) + 1 + len(rc.fwd)/2
+	grow := func(s []int32) []int32 {
+		g := make([]int32, n)
+		copy(g, s)
+		return g
+	}
+	gc := make([]Color, n)
+	copy(gc, rc.fwd)
+	rc.fwd = gc
+	gc = make([]Color, n)
+	copy(gc, rc.bwd)
+	rc.bwd = gc
+	rc.fwdStamp = grow(rc.fwdStamp)
+	rc.bwdStamp = grow(rc.bwdStamp)
+	rc.moved = grow(rc.moved)
+	rc.movedStamp = grow(rc.movedStamp)
+}
+
+// equivalent reports the grouping-equivalence decision for one round.
+func (rc *renameCheck) equivalent(changes []change, cc *colorCounts) bool {
 	if len(changes) == 0 {
 		return true
 	}
-	fwd := make(map[Color]Color, len(changes))
-	bwd := make(map[Color]Color, len(changes))
-	movedFrom := make(map[Color]int32, len(changes))
+	rc.stamp++
+	st := rc.stamp
+	maxC := Color(0)
 	for _, ch := range changes {
-		if w, ok := fwd[ch.old]; ok {
-			if w != ch.new {
+		if ch.old > maxC {
+			maxC = ch.old
+		}
+		if ch.new > maxC {
+			maxC = ch.new
+		}
+	}
+	rc.ensure(maxC)
+	for _, ch := range changes {
+		if rc.fwdStamp[ch.old] == st {
+			if rc.fwd[ch.old] != ch.new {
 				return false // class split across two new colors
 			}
 		} else {
-			fwd[ch.old] = ch.new
-			if o, ok := bwd[ch.new]; ok && o != ch.old {
+			rc.fwdStamp[ch.old] = st
+			rc.fwd[ch.old] = ch.new
+			if rc.bwdStamp[ch.new] == st && rc.bwd[ch.new] != ch.old {
 				return false // two classes merged into one new color
 			}
-			bwd[ch.new] = ch.old
+			rc.bwdStamp[ch.new] = st
+			rc.bwd[ch.new] = ch.old
 		}
-		movedFrom[ch.old]++
+		if rc.movedStamp[ch.old] == st {
+			rc.moved[ch.old]++
+		} else {
+			rc.movedStamp[ch.old] = st
+			rc.moved[ch.old] = 1
+		}
 	}
-	for old, cnt := range movedFrom {
-		if cc.at(old) != cnt {
+	for _, ch := range changes {
+		if cc.at(ch.old) != rc.moved[ch.old] {
 			return false // a node outside the change set keeps old
 		}
-	}
-	for new := range bwd {
-		if cc.at(new)-movedFrom[new] != 0 {
+		movedFromNew := int32(0) // changes vacating the target color
+		if rc.movedStamp[ch.new] == st {
+			movedFromNew = rc.moved[ch.new]
+		}
+		if cc.at(ch.new) != movedFromNew {
 			return false // a node outside the change set already holds new
 		}
 	}
@@ -169,16 +227,30 @@ func nextFrontier(g *rdf.Graph, changed []rdf.NodeID, inX []bool, mark []int32, 
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sortNodeIDs(out)
 	return out
+}
+
+// sortNodeIDs sorts a frontier ascending; small frontiers (the steady state
+// of deep fixpoints) use insertion sort to avoid sort.Slice overhead.
+func sortNodeIDs(out []rdf.NodeID) {
+	if len(out) <= 32 {
+		for i := 1; i < len(out); i++ {
+			for j := i; j > 0 && out[j] < out[j-1]; j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
+		return
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 }
 
 // refineWorklist is the incremental fixpoint behind Engine.Refine for the
 // default outbound recoloring. When the engine has Workers > 1 and the
-// frontier is large enough, each round's gather phase is chunked across a
-// worker pool (see gatherParallel); interning always stays sequential and
-// in ascending node order, so every configuration produces the identical
-// coloring.
+// frontier is large enough, each round is chunked across a worker pool that
+// gathers and interns concurrently (see parallelGatherer); the sharded
+// interner's rank reconciliation keeps color assignment in ascending node
+// order, so every configuration produces the identical coloring.
 func (e *Engine) refineWorklist(g *rdf.Graph, p *Partition, x []rdf.NodeID) (*Partition, int, error) {
 	cur := p.Clone()
 	colors := cur.colors
@@ -190,6 +262,7 @@ func (e *Engine) refineWorklist(g *rdf.Graph, p *Partition, x []rdf.NodeID) (*Pa
 	stamp := int32(1)
 	dirty := dedupFrontier(x, mark, stamp)
 	counts := newColorCounts(colors)
+	var rc renameCheck
 	changes := make([]change, 0, len(dirty))
 	changedNodes := make([]rdf.NodeID, 0, len(dirty))
 	var scratch []ColorPair
@@ -216,7 +289,7 @@ func (e *Engine) refineWorklist(g *rdf.Graph, p *Partition, x []rdf.NodeID) (*Pa
 				}
 			}
 		}
-		if equivalentRenaming(changes, counts) {
+		if rc.equivalent(changes, counts) {
 			// Quiescent: the round at most renames classes (a node joining
 			// an equivalent class, or a blank cycle re-deriving itself).
 			// Discard it and return the pre-round partition, as the full
@@ -235,24 +308,23 @@ func (e *Engine) refineWorklist(g *rdf.Graph, p *Partition, x []rdf.NodeID) (*Pa
 	}
 }
 
-// gathered records one node's recolor inputs from the parallel gather
-// phase: its pre-round color and the canonicalised pair run in the worker's
-// arena.
-type gathered struct {
-	prev   Color
-	lo, hi int
-}
-
 // parallelGatherer chunks a worklist round's gather phase — collecting and
-// canonicalising every dirty node's outbound color pairs, the dominant cost
-// — across a worker pool. It is the shared-memory analogue of the
+// canonicalising every dirty node's outbound color pairs — across a worker
+// pool, and has each worker intern its signatures directly through the
+// sharded concurrent interner (shardintern.go) instead of shipping pair
+// lists to a serial intern phase. It is the shared-memory analogue of the
 // distributed bisimulation the paper points to for scaling (§5.3, citing
-// the MapReduce approach of Schätzle et al. [16]). Arenas and the result
-// slice persist across rounds to amortise allocation.
+// the MapReduce approach of Schätzle et al. [16]). After the workers join,
+// the rank-reconciliation pass commits new signatures in sequential
+// allocation order, so every worker count yields the identical coloring.
+// Arenas, the result slice and the sharded interner persist across rounds
+// to amortise allocation.
 type parallelGatherer struct {
 	workers int
 	arenas  [][]ColorPair
-	results []gathered
+	refs    []sigRef
+	weights []float64
+	si      *shardedInterner
 }
 
 func newParallelGatherer(workers int) *parallelGatherer {
@@ -260,17 +332,68 @@ func newParallelGatherer(workers int) *parallelGatherer {
 }
 
 // round runs one gather+intern round over the dirty frontier, appending the
-// observed changes to changes. Interning happens sequentially in frontier
-// order, so the result is identical color-for-color to the sequential path.
+// observed changes to changes in frontier order. The result is identical
+// color-for-color to the sequential path (see shardintern.go for why).
 func (pg *parallelGatherer) round(g *rdf.Graph, cur *Partition, dirty []rdf.NodeID, changes []change) []change {
-	if cap(pg.results) < len(dirty) {
-		pg.results = make([]gathered, len(dirty))
+	si := pg.gather(g, cur, nil, dirty)
+	for i, n := range dirty {
+		c := si.resolve(pg.refs[i])
+		if c != cur.colors[n] {
+			changes = append(changes, change{n: n, old: cur.colors[n], new: c})
+		}
 	}
-	results := pg.results[:len(dirty)]
+	return changes
+}
+
+// roundWeighted is round for the weighted engine: the workers additionally
+// recompute each dirty node's weight (reweight is a pure function of the
+// pre-round weights, so it parallelises with the same determinism
+// guarantee), and the serial resolve pass collects weight changes and the
+// round's maximum weight motion.
+func (pg *parallelGatherer) roundWeighted(g *rdf.Graph, cur *Weighted, dirty []rdf.NodeID, changes []change, wchanges []wchange) ([]change, []wchange, float64) {
+	si := pg.gather(g, cur.P, cur.W, dirty)
+	maxDelta := 0.0
+	for i, n := range dirty {
+		c := si.resolve(pg.refs[i])
+		if c != cur.P.colors[n] {
+			changes = append(changes, change{n: n, old: cur.P.colors[n], new: c})
+		}
+		if d := math.Abs(pg.weights[i] - cur.W[n]); d > 0 {
+			wchanges = append(wchanges, wchange{n: n, w: pg.weights[i]})
+			if d > maxDelta {
+				maxDelta = d
+			}
+		}
+	}
+	return changes, wchanges, maxDelta
+}
+
+// gather runs the concurrent gather+intern phase over the dirty frontier
+// and reconciles the sharded interner; afterwards pg.refs[i] resolves the
+// i-th dirty node's color and, when w is non-nil, pg.weights[i] holds its
+// recomputed weight.
+func (pg *parallelGatherer) gather(g *rdf.Graph, cur *Partition, w []float64, dirty []rdf.NodeID) *shardedInterner {
+	if pg.si == nil || pg.si.parent != cur.in {
+		pg.si = newShardedInterner(cur.in)
+	} else {
+		pg.si.reset()
+	}
+	si := pg.si
+	if cap(pg.refs) < len(dirty) {
+		pg.refs = make([]sigRef, len(dirty))
+	}
+	refs := pg.refs[:len(dirty)]
+	var weights []float64
+	if w != nil {
+		if cap(pg.weights) < len(dirty) {
+			pg.weights = make([]float64, len(dirty))
+		}
+		weights = pg.weights[:len(dirty)]
+	}
 	chunk := (len(dirty) + pg.workers - 1) / pg.workers
 	var wg sync.WaitGroup
-	for w := 0; w < pg.workers; w++ {
-		lo := w * chunk
+	for wk := 0; wk < pg.workers; wk++ {
+		lo := wk * chunk
 		hi := lo + chunk
 		if hi > len(dirty) {
 			hi = len(dirty)
@@ -279,9 +402,9 @@ func (pg *parallelGatherer) round(g *rdf.Graph, cur *Partition, dirty []rdf.Node
 			break
 		}
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func(wk, lo, hi int) {
 			defer wg.Done()
-			arena := pg.arenas[w][:0]
+			arena := pg.arenas[wk][:0]
 			for i := lo; i < hi; i++ {
 				n := dirty[i]
 				start := len(arena)
@@ -292,20 +415,17 @@ func (pg *parallelGatherer) round(g *rdf.Graph, cur *Partition, dirty []rdf.Node
 				sortPairs(run)
 				run = dedupPairs(run)
 				arena = arena[:start+len(run)]
-				results[i] = gathered{prev: cur.colors[n], lo: start, hi: len(arena)}
+				refs[i] = si.intern(int32(i), cur.colors[n], arena[start:len(arena):len(arena)])
+				if weights != nil {
+					weights[i] = reweight(g, w, n)
+				}
 			}
-			pg.arenas[w] = arena
-		}(w, lo, hi)
+			pg.arenas[wk] = arena
+		}(wk, lo, hi)
 	}
 	wg.Wait()
-	for i, n := range dirty {
-		w := i / chunk
-		c := cur.in.compositeCanonical(results[i].prev, pg.arenas[w][results[i].lo:results[i].hi])
-		if c != cur.colors[n] {
-			changes = append(changes, change{n: n, old: cur.colors[n], new: c})
-		}
-	}
-	return changes
+	si.reconcile()
+	return si
 }
 
 // wchange records one reweighted node within a weighted round.
@@ -321,7 +441,10 @@ type wchange struct {
 // RefineWeightedStep would recompute unchanged, and the engines agree
 // bit-for-bit on both colors and weights. ε governs only termination, as in
 // the full engine: the loop stops once a round moves no weight by ε or more
-// and at most renames color classes.
+// and at most renames color classes. With Workers > 1, large frontiers run
+// the parallel gather (roundWeighted: concurrent interning plus concurrent
+// reweighting), which preserves the bit-for-bit agreement across worker
+// counts.
 func (e *Engine) refineWeightedWorklist(g *rdf.Graph, xi *Weighted, x []rdf.NodeID, eps float64) (*Weighted, int, error) {
 	cur := xi.Clone()
 	colors := cur.P.colors
@@ -334,10 +457,12 @@ func (e *Engine) refineWeightedWorklist(g *rdf.Graph, xi *Weighted, x []rdf.Node
 	stamp := int32(1)
 	dirty := dedupFrontier(x, mark, stamp)
 	counts := newColorCounts(colors)
+	var rc renameCheck
 	changes := make([]change, 0, len(dirty))
 	wchanges := make([]wchange, 0, len(dirty))
 	changedNodes := make([]rdf.NodeID, 0, len(dirty))
 	var scratch []ColorPair
+	var pg *parallelGatherer
 	for iter := 0; ; iter++ {
 		if err := e.Hooks.Err(); err != nil {
 			return nil, 0, err
@@ -347,21 +472,28 @@ func (e *Engine) refineWeightedWorklist(g *rdf.Graph, xi *Weighted, x []rdf.Node
 		}
 		changes, wchanges = changes[:0], wchanges[:0]
 		maxDelta := 0.0
-		for _, n := range dirty {
-			var c Color
-			c, scratch = recolor(g, cur.P, n, scratch)
-			if c != colors[n] {
-				changes = append(changes, change{n: n, old: colors[n], new: c})
+		if e.Workers > 1 && len(dirty) >= parallelThreshold {
+			if pg == nil {
+				pg = newParallelGatherer(e.Workers)
 			}
-			nw := reweight(g, w, n)
-			if d := math.Abs(nw - w[n]); d > 0 {
-				wchanges = append(wchanges, wchange{n: n, w: nw})
-				if d > maxDelta {
-					maxDelta = d
+			changes, wchanges, maxDelta = pg.roundWeighted(g, cur, dirty, changes, wchanges)
+		} else {
+			for _, n := range dirty {
+				var c Color
+				c, scratch = recolor(g, cur.P, n, scratch)
+				if c != colors[n] {
+					changes = append(changes, change{n: n, old: colors[n], new: c})
+				}
+				nw := reweight(g, w, n)
+				if d := math.Abs(nw - w[n]); d > 0 {
+					wchanges = append(wchanges, wchange{n: n, w: nw})
+					if d > maxDelta {
+						maxDelta = d
+					}
 				}
 			}
 		}
-		stop := maxDelta < eps && equivalentRenaming(changes, counts)
+		stop := maxDelta < eps && rc.equivalent(changes, counts)
 		// The weighted fixpoint applies its final step (it returns the
 		// refined ξ, not the pre-round one — see RefineWeighted), so apply
 		// before deciding to return.
