@@ -380,35 +380,6 @@ func BenchmarkAlignSigmaEditSmall(b *testing.B) {
 	}
 }
 
-func BenchmarkParseNTriples(b *testing.B) {
-	d, err := GenerateEFO(EFOConfig{Versions: 1, Scale: 0.02, Seed: 3})
-	if err != nil {
-		b.Fatal(err)
-	}
-	doc := formatGraph(d.Graphs[0])
-	b.SetBytes(int64(len(doc)))
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := ParseNTriplesString(doc, "bench"); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func formatGraph(g *Graph) string {
-	var sb stringsBuilder
-	if err := WriteNTriples(&sb, g); err != nil {
-		panic(err)
-	}
-	return sb.String()
-}
-
-// stringsBuilder avoids importing strings just for the one benchmark.
-type stringsBuilder struct{ buf []byte }
-
-func (s *stringsBuilder) Write(p []byte) (int, error) {
-	s.buf = append(s.buf, p...)
-	return len(p), nil
-}
-func (s *stringsBuilder) String() string { return string(s.buf) }
+// BenchmarkParseNTriples moved to bench_parse_test.go: it now measures
+// the streaming pipeline on a million-triple corpus, sequential vs
+// parallel.

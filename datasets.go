@@ -1,6 +1,8 @@
 package rdfalign
 
 import (
+	"io"
+
 	"rdfalign/internal/dataset"
 	"rdfalign/internal/rdf"
 	"rdfalign/internal/truth"
@@ -25,6 +27,9 @@ type (
 	// DBpediaDataset is the generated DBpedia-like dataset.
 	DBpediaDataset = dataset.DBpedia
 
+	// StreamConfig sizes the streaming benchmark dataset generator.
+	StreamConfig = dataset.StreamConfig
+
 	// GroundTruth is a 1-to-1 reference alignment over URI labels.
 	GroundTruth = truth.Truth
 	// Precision tallies exact/inclusive/missing/false matches against a
@@ -40,6 +45,14 @@ func GenerateGtoPdb(cfg GtoPdbConfig) (*GtoPdbDataset, error) { return dataset.G
 
 // GenerateDBpedia builds the DBpedia-like dataset.
 func GenerateDBpedia(cfg DBpediaConfig) (*DBpediaDataset, error) { return dataset.GenerateDBpedia(cfg) }
+
+// StreamNTriples writes one version of the streaming DBpedia-like
+// benchmark dataset directly to w as N-Triples — no Graph is
+// materialised, so million-triple corpora generate in seconds with O(1)
+// memory. It returns the number of triples written.
+func StreamNTriples(w io.Writer, cfg StreamConfig) (int, error) {
+	return dataset.StreamNTriples(w, cfg)
+}
 
 // NewGroundTruth returns an empty ground truth; add pairs with Add.
 func NewGroundTruth() *GroundTruth { return truth.New() }

@@ -91,6 +91,29 @@
 // (σ(n, m) ≤ θ, §4.1), and every θ-taking option accepts (0, 1] with the
 // zero value selecting the paper's 0.65 default.
 //
+// # Ingestion
+//
+// N-Triples input streams through a chunked parallel pipeline: the input
+// is split into ~256 KB blocks on line boundaries, a worker pool lexes
+// blocks into per-block triple batches (no per-line allocations;
+// zero-copy blocks when parsing from a string), and the batches are
+// merged in block order, so NodeID assignment — and therefore the
+// resulting Graph — is bit-identical to a sequential parse for every
+// worker count:
+//
+//	g, err := rdfalign.ParseNTriples(f, "v1",
+//		rdfalign.WithParseWorkers(8), // -1 = all cores, 0/1 = sequential
+//		rdfalign.WithStrictMode())    // reject raw controls, invalid UTF-8
+//
+// Syntax errors report global 1-based line numbers (the first error in
+// document order) regardless of worker count. WriteNTriples mirrors the
+// pipeline with a parallel formatting fast path (WithWriteWorkers) whose
+// output is byte-identical to the sequential writer, canonical (parsing
+// the output and re-serialising reproduces it exactly) and
+// byte-preserving (labels round-trip at the byte level, including
+// invalid UTF-8 a lax parse admitted). Fuzz targets and golden files
+// under internal/rdf pin all three guarantees.
+//
 // The package also ships the paper's complete evaluation apparatus:
 // deterministic generators for the three datasets of Section 5 (an EFO-like
 // ontology, a GtoPdb-like relational database exported through the W3C

@@ -1,0 +1,202 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// This file implements a streaming synthetic generator for parser and
+// end-to-end ingestion benchmarks: a DBpedia-like category/article graph
+// (the shape of the paper's §5.3 scalability dataset) written directly to
+// an io.Writer as N-Triples, without ever materialising a Graph. Entity
+// attributes are pure functions of (seed, entity index, version), so
+// memory stays O(1) in the dataset size, versions are mutually consistent
+// (later versions grow and churn earlier ones), and output is fully
+// deterministic — million-triple corpora generate in seconds.
+
+// StreamConfig sizes the streaming generator.
+type StreamConfig struct {
+	// Triples is the approximate target triple count for version 1
+	// (default 100000). Later versions are larger by Growth per version.
+	Triples int
+	// Version is the 1-based version to emit (default 1). Versions share
+	// entities: version v contains every entity of version v-1 plus
+	// growth, with a churned fraction of article labels and categories.
+	Version int
+	// Growth is the per-version entity growth factor (default 1.08).
+	Growth float64
+	// Churn is the per-version fraction of articles whose label or
+	// categorisation changes (default 0.01).
+	Churn float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c *StreamConfig) normalise() {
+	if c.Triples <= 0 {
+		c.Triples = 100_000
+	}
+	if c.Version <= 0 {
+		c.Version = 1
+	}
+	if c.Growth <= 1 {
+		c.Growth = 1.08
+	}
+	if c.Churn <= 0 {
+		c.Churn = 0.01
+	}
+}
+
+// Triple-shape constants: each category contributes a label triple and
+// (except roots) a broader triple; each article a label triple and 1–4
+// subject triples (avg 2.5), with six articles per category.
+const (
+	streamArtsPerCat    = 6
+	streamTriplesPerCat = 2 + streamArtsPerCat*(1+2.5)
+	streamResource      = "http://dbpedia.org/resource/"
+	streamCategory      = "http://dbpedia.org/resource/Category:"
+	streamLabelPred     = "http://www.w3.org/2000/01/rdf-schema#label"
+	streamBroaderPred   = "http://www.w3.org/2004/02/skos/core#broader"
+	streamSubjectPred   = "http://purl.org/dc/terms/subject"
+	streamLexiconWords  = 1200
+	streamChurnScale    = 1 << 20
+)
+
+// mix64 is the splitmix64 finaliser: the per-entity hash underlying all
+// attribute derivation.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4b289
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+type streamGen struct {
+	cfg  StreamConfig
+	lex  *Lexicon
+	cats int // category count at cfg.Version
+	arts int // article count at cfg.Version
+	base int // category count at version 1 (stable category universe)
+}
+
+// hash derives the attribute value for (kind, entity, field, revision).
+func (g *streamGen) hash(kind, entity, field, rev uint64) uint64 {
+	h := mix64(uint64(g.cfg.Seed) ^ kind*0x517cc1b727220a95)
+	h = mix64(h ^ entity)
+	h = mix64(h ^ field)
+	return mix64(h ^ rev)
+}
+
+// countAt scales a base count by Growth^(version-1).
+func countAt(base int, growth float64, version int) int {
+	f := float64(base)
+	for v := 1; v < version; v++ {
+		f *= growth
+	}
+	return int(f)
+}
+
+// labelRevision returns the latest version ≤ v at which entity i changed
+// its attribute under the churn process (0 = never churned since birth).
+func (g *streamGen) labelRevision(kind, i uint64, field uint64, v int) uint64 {
+	threshold := uint64(g.cfg.Churn * streamChurnScale)
+	for u := v; u >= 2; u-- {
+		if g.hash(kind, i, field^0xc0ffee, uint64(u))%streamChurnScale < threshold {
+			return uint64(u)
+		}
+	}
+	return 0
+}
+
+// word picks a deterministic lexicon or domain word.
+func (g *streamGen) word(h uint64) string {
+	if h%3 == 0 {
+		return domains[(h>>8)%uint64(len(domains))]
+	}
+	return g.lex.words[(h>>8)%uint64(len(g.lex.words))]
+}
+
+// name builds the 1–3 word entity name for (kind, i) as of revision rev.
+func (g *streamGen) name(kind, i, rev uint64) string {
+	h := g.hash(kind, i, 0x6e616d65 /* "name" */, rev)
+	n := 1 + int(h%3)
+	out := g.word(h)
+	for k := 1; k < n; k++ {
+		h = mix64(h)
+		out += " " + g.word(h)
+	}
+	return out
+}
+
+// StreamNTriples writes one version of the streaming dataset to w and
+// returns the number of triples emitted.
+func StreamNTriples(w io.Writer, cfg StreamConfig) (int, error) {
+	cfg.normalise()
+	g := &streamGen{
+		cfg:  cfg,
+		lex:  NewLexicon(cfg.Seed^0x6c6578, streamLexiconWords),
+		base: int(float64(cfg.Triples) / streamTriplesPerCat),
+	}
+	if g.base < 4 {
+		g.base = 4
+	}
+	g.cats = countAt(g.base, cfg.Growth, cfg.Version)
+	g.arts = countAt(g.base*streamArtsPerCat, cfg.Growth, cfg.Version)
+
+	bw := bufio.NewWriterSize(w, 1<<16)
+	triples := 0
+	emit := func(s, p, o string) {
+		bw.WriteString(s)
+		bw.WriteByte(' ')
+		bw.WriteString(p)
+		bw.WriteByte(' ')
+		bw.WriteString(o)
+		bw.WriteString(" .\n")
+		triples++
+	}
+	label := "<" + streamLabelPred + ">"
+	broader := "<" + streamBroaderPred + ">"
+	subject := "<" + streamSubjectPred + ">"
+
+	catURI := func(i int) string {
+		rev := g.labelRevision('c', uint64(i), 0, cfg.Version)
+		return "<" + streamCategory + uriName(titleCase(g.name('c', uint64(i), rev))) + "_" + strconv.Itoa(i) + ">"
+	}
+	for i := 0; i < g.cats; i++ {
+		u := catURI(i)
+		rev := g.labelRevision('c', uint64(i), 0, cfg.Version)
+		emit(u, label, quoteLiteral(titleCase(g.name('c', uint64(i), rev))))
+		if i > 0 {
+			// The broader category is drawn from the stable version-1
+			// universe so edges stay valid across versions.
+			parent := int(g.hash('c', uint64(i), 0x626f6d, 0) % uint64(min(i, g.base)))
+			emit(u, broader, catURI(parent))
+		}
+	}
+	for i := 0; i < g.arts; i++ {
+		rev := g.labelRevision('a', uint64(i), 0, cfg.Version)
+		name := titleCase(g.name('a', uint64(i), rev))
+		u := "<" + streamResource + uriName(name) + "_" + strconv.Itoa(i) + ">"
+		emit(u, label, quoteLiteral(name))
+		catRev := g.labelRevision('a', uint64(i), 1, cfg.Version)
+		h := g.hash('a', uint64(i), 0x63617473, catRev)
+		n := 1 + int(h%4)
+		for k := 0; k < n; k++ {
+			h = mix64(h)
+			emit(u, subject, catURI(int(h%uint64(g.base))))
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return triples, fmt.Errorf("dataset: stream: %w", err)
+	}
+	return triples, nil
+}
+
+// quoteLiteral wraps a generator name in quotes; lexicon output is plain
+// ASCII words and spaces, so no escaping is needed.
+func quoteLiteral(s string) string { return `"` + s + `"` }

@@ -1,0 +1,85 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rdfalign/internal/rdf"
+)
+
+func streamDoc(t *testing.T, cfg StreamConfig) (string, int) {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := StreamNTriples(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), n
+}
+
+func TestStreamNTriplesDeterministic(t *testing.T) {
+	cfg := StreamConfig{Triples: 5000, Seed: 42}
+	a, na := streamDoc(t, cfg)
+	b, nb := streamDoc(t, cfg)
+	if a != b || na != nb {
+		t.Fatal("StreamNTriples is not deterministic")
+	}
+	other, _ := streamDoc(t, StreamConfig{Triples: 5000, Seed: 43})
+	if a == other {
+		t.Fatal("different seeds produced identical output")
+	}
+}
+
+func TestStreamNTriplesParses(t *testing.T) {
+	doc, n := streamDoc(t, StreamConfig{Triples: 8000, Seed: 7})
+	// The emitted document is valid in strict mode and identical under
+	// sequential and parallel parsing.
+	g, err := rdf.ParseNTriplesString(doc, "stream", rdf.WithStrictMode())
+	if err != nil {
+		t.Fatalf("strict parse failed: %v", err)
+	}
+	gp, err := rdf.ParseNTriplesString(doc, "stream-par", rdf.WithParseWorkers(4))
+	if err != nil {
+		t.Fatalf("parallel parse failed: %v", err)
+	}
+	if g.NumNodes() != gp.NumNodes() || g.NumTriples() != gp.NumTriples() {
+		t.Fatal("parallel parse differs from sequential")
+	}
+	// Triple count is near the target (duplicate subject edges collapse).
+	if got := strings.Count(doc, " .\n"); got != n {
+		t.Errorf("reported %d triples, document has %d statements", n, got)
+	}
+	if n < 8000*8/10 || n > 8000*12/10 {
+		t.Errorf("triple count %d too far from target 8000", n)
+	}
+	if g.NumBlanks() != 0 {
+		t.Errorf("stream dataset has %d blank nodes, want 0", g.NumBlanks())
+	}
+}
+
+func TestStreamNTriplesVersions(t *testing.T) {
+	v1, n1 := streamDoc(t, StreamConfig{Triples: 5000, Seed: 9, Version: 1})
+	v2, n2 := streamDoc(t, StreamConfig{Triples: 5000, Seed: 9, Version: 2})
+	if v1 == v2 {
+		t.Fatal("consecutive versions are identical")
+	}
+	if n2 <= n1 {
+		t.Errorf("version 2 has %d triples, version 1 has %d; want growth", n2, n1)
+	}
+	// Versions share most of their statements (growth + churn only).
+	lines1 := strings.Split(v1, "\n")
+	set2 := map[string]bool{}
+	for _, l := range strings.Split(v2, "\n") {
+		set2[l] = true
+	}
+	shared := 0
+	for _, l := range lines1 {
+		if set2[l] {
+			shared++
+		}
+	}
+	if ratio := float64(shared) / float64(len(lines1)); ratio < 0.9 {
+		t.Errorf("only %.2f of version-1 statements survive into version 2; churn too aggressive", ratio)
+	}
+}

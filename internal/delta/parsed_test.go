@@ -1,0 +1,106 @@
+package delta
+
+import (
+	"bytes"
+	"testing"
+
+	"rdfalign/internal/dataset"
+	"rdfalign/internal/rdf"
+)
+
+// These tests close the gap where deltas were exercised on hand-written
+// snippets and builder graphs only: generated version pairs are pushed
+// through the serialise → parallel parse pipeline, and the delta of the
+// parsed pair must agree with the delta of the original pair — change
+// detection is structural and must not see node renumbering.
+
+func reparse(t *testing.T, g *rdf.Graph) *rdf.Graph {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rdf.WriteNTriples(&buf, g, rdf.WithWriteWorkers(4)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := rdf.ParseNTriples(&buf, g.Name()+"-parsed",
+		rdf.WithParseWorkers(4), rdf.WithStrictMode())
+	if err != nil {
+		t.Fatalf("reparse of %s failed: %v", g.Name(), err)
+	}
+	return out
+}
+
+func deltaOf(t *testing.T, g1, g2 *rdf.Graph) *Delta {
+	t.Helper()
+	c := rdf.Union(g1, g2)
+	return Compute(c, hybridOf(t, c))
+}
+
+func TestDeltaOnParsedEFOPair(t *testing.T) {
+	d, err := dataset.GenerateEFO(dataset.EFOConfig{Versions: 2, Scale: 0.01, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := deltaOf(t, d.Graphs[0], d.Graphs[1])
+	parsed := deltaOf(t, reparse(t, d.Graphs[0]), reparse(t, d.Graphs[1]))
+	if orig.Retained != parsed.Retained ||
+		len(orig.Removed) != len(parsed.Removed) ||
+		len(orig.Added) != len(parsed.Added) {
+		t.Errorf("delta changed across serialise/parse: builder %s, parsed %s",
+			orig.Summary(), parsed.Summary())
+	}
+	if orig.Retained == 0 || len(orig.Removed)+len(orig.Added) == 0 {
+		t.Errorf("degenerate delta %s: the EFO pair should both retain and churn", orig.Summary())
+	}
+}
+
+func TestDeltaOnParsedSelfIsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := dataset.StreamNTriples(&buf, dataset.StreamConfig{Triples: 3000, Seed: 8}); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	g1, err := rdf.ParseNTriplesString(doc, "v1", rdf.WithParseWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := rdf.ParseNTriplesString(doc, "v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := deltaOf(t, g1, g2)
+	if len(d.Removed) != 0 || len(d.Added) != 0 {
+		t.Errorf("self delta of a parsed document not empty: %s", d.Summary())
+	}
+	if d.Retained != g1.NumTriples() {
+		t.Errorf("retained = %d, want %d", d.Retained, g1.NumTriples())
+	}
+}
+
+func TestDeltaOnParsedStreamVersions(t *testing.T) {
+	graphs := make([]*rdf.Graph, 2)
+	for v := 1; v <= 2; v++ {
+		var buf bytes.Buffer
+		if _, err := dataset.StreamNTriples(&buf, dataset.StreamConfig{
+			Triples: 3000, Version: v, Seed: 8,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		g, err := rdf.ParseNTriples(&buf, "v", rdf.WithParseWorkers(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs[v-1] = g
+	}
+	d := deltaOf(t, graphs[0], graphs[1])
+	total := d.Retained + len(d.Removed) + len(d.Added)
+	if total == 0 {
+		t.Fatal("empty delta")
+	}
+	// Consecutive stream versions differ by growth plus ~1% churn: most
+	// triples are retained, but some change.
+	if float64(d.Retained)/float64(graphs[0].NumTriples()) < 0.9 {
+		t.Errorf("expected most version-1 triples retained: %s", d.Summary())
+	}
+	if len(d.Added) == 0 {
+		t.Errorf("version 2 grows, expected added triples: %s", d.Summary())
+	}
+}

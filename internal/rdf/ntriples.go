@@ -1,14 +1,13 @@
 package rdf
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"strings"
 	"unicode/utf8"
 )
 
-// This file implements reading and writing of the N-Triples syntax
+// This file implements reading of the N-Triples syntax
 // (https://www.w3.org/TR/n-triples/), the line-oriented RDF serialisation
 // used to exchange the evaluation datasets. The subset implemented covers
 // everything the alignment data model can represent:
@@ -22,8 +21,15 @@ import (
 // datatype IRIs are parsed and folded into the literal value verbatim
 // (`"v"@en` keeps the tag as part of the value), since the paper's data
 // model has plain string literals only.
+//
+// Input is consumed in line-boundary-aligned blocks (scan.go); with
+// WithParseWorkers(n > 1) blocks are parsed concurrently and merged in
+// block order (parallel.go), producing a graph bit-identical to the
+// sequential parse. Serialisation lives in writer.go.
 
-// ParseError describes a syntax error with its input position.
+// ParseError describes a syntax error with its input position. Line
+// numbers are global 1-based document positions regardless of how the
+// input was split into blocks or how many parse workers ran.
 type ParseError struct {
 	Line int    // 1-based line number
 	Col  int    // 1-based byte offset within the line
@@ -35,33 +41,36 @@ func (e *ParseError) Error() string {
 }
 
 // ParseNTriples reads an N-Triples document and builds a validated Graph
-// with the given diagnostic name.
-func ParseNTriples(r io.Reader, name string) (*Graph, error) {
-	b := NewBuilder(name)
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		if err := parseLine(b, sc.Text(), lineNo); err != nil {
-			return nil, err
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("ntriples: read: %w", err)
-	}
-	return b.Graph()
+// with the given diagnostic name. By default the document is parsed
+// sequentially; WithParseWorkers enables the parallel block pipeline and
+// WithStrictMode tightens the accepted dialect. The resulting graph —
+// node IDs, labels and triples — does not depend on the worker count or
+// block size.
+func ParseNTriples(r io.Reader, name string, opts ...ParseOption) (*Graph, error) {
+	o := resolveParseOpts(opts)
+	return parseNTriplesScanner(newBlockScanner(r, o.blockSize), name, o)
 }
 
-// ParseNTriplesString is ParseNTriples over an in-memory document.
-func ParseNTriplesString(doc, name string) (*Graph, error) {
-	return ParseNTriples(strings.NewReader(doc), name)
+// ParseNTriplesString is ParseNTriples over an in-memory document. Blocks
+// are zero-copy views of the document, so no input bytes are copied
+// (label strings are still cloned out, never aliasing the document).
+func ParseNTriplesString(doc, name string, opts ...ParseOption) (*Graph, error) {
+	o := resolveParseOpts(opts)
+	return parseNTriplesScanner(newBlockScannerString(doc, o.blockSize), name, o)
+}
+
+func parseNTriplesScanner(sc *blockScanner, name string, o parseOpts) (*Graph, error) {
+	if o.workers > 1 {
+		return parseNTriplesParallel(sc, name, o)
+	}
+	return parseNTriplesSeq(sc, name, o)
 }
 
 type lineParser struct {
-	s    string
-	pos  int
-	line int
+	s      string
+	pos    int
+	line   int
+	strict bool
 }
 
 func (p *lineParser) err(msg string) error {
@@ -76,23 +85,25 @@ func (p *lineParser) skipWS() {
 
 func (p *lineParser) eof() bool { return p.pos >= len(p.s) }
 
-func parseLine(b *Builder, line string, lineNo int) error {
-	p := &lineParser{s: line, line: lineNo}
+// parseLineInto parses one line into the sink. Blank lines and comments
+// are skipped.
+func parseLineInto(sink termSink, line string, lineNo int, strict bool) error {
+	p := &lineParser{s: line, line: lineNo, strict: strict}
 	p.skipWS()
 	if p.eof() || p.s[p.pos] == '#' {
 		return nil
 	}
-	s, err := p.term(b, false)
+	s, err := p.term(sink, false)
 	if err != nil {
 		return err
 	}
 	p.skipWS()
-	pr, err := p.term(b, false)
+	pr, err := p.term(sink, false)
 	if err != nil {
 		return err
 	}
 	p.skipWS()
-	o, err := p.term(b, true)
+	o, err := p.term(sink, true)
 	if err != nil {
 		return err
 	}
@@ -105,43 +116,61 @@ func parseLine(b *Builder, line string, lineNo int) error {
 	if !p.eof() && p.s[p.pos] != '#' {
 		return p.err("unexpected trailing content after '.'")
 	}
-	b.Triple(s, pr, o)
+	sink.triple(s, pr, o)
 	return nil
 }
 
 // term parses one RDF term. Literals are only admitted when object is true.
-func (p *lineParser) term(b *Builder, object bool) (NodeID, error) {
+func (p *lineParser) term(sink termSink, object bool) (NodeID, error) {
 	if p.eof() {
 		return 0, p.err("unexpected end of line, expected a term")
 	}
 	switch p.s[p.pos] {
 	case '<':
-		v, err := p.iri()
+		v, owned, err := p.iri()
 		if err != nil {
 			return 0, err
 		}
-		return b.URI(v), nil
+		if err := p.checkUTF8(v, "IRI"); err != nil {
+			return 0, err
+		}
+		return sink.uriTerm(v, owned), nil
 	case '_':
 		v, err := p.blankLabel()
 		if err != nil {
 			return 0, err
 		}
-		return b.Blank(v), nil
+		return sink.blankTerm(v, false), nil
 	case '"':
 		if !object {
 			return 0, p.err("literal not allowed in subject or predicate position")
 		}
-		v, err := p.literal()
+		v, owned, err := p.literal()
 		if err != nil {
 			return 0, err
 		}
-		return b.Literal(v), nil
+		if err := p.checkUTF8(v, "literal"); err != nil {
+			return 0, err
+		}
+		return sink.literalTerm(v, owned), nil
 	default:
 		return 0, p.err(fmt.Sprintf("unexpected character %q at start of term", p.s[p.pos]))
 	}
 }
 
-func (p *lineParser) iri() (string, error) {
+// checkUTF8 enforces the strict-mode encoding requirement on a finished
+// term value. Escape sequences are validated as they decode, so this only
+// rejects raw invalid bytes from the input (which lax mode preserves).
+func (p *lineParser) checkUTF8(v, what string) error {
+	if p.strict && !utf8.ValidString(v) {
+		return p.err("invalid UTF-8 in " + what)
+	}
+	return nil
+}
+
+// iri parses <...>. The owned result reports whether the returned string
+// was freshly built (escape decoding) or is a view into the line.
+func (p *lineParser) iri() (v string, owned bool, err error) {
 	p.pos++ // '<'
 	start := p.pos
 	var sb *strings.Builder
@@ -157,9 +186,9 @@ func (p *lineParser) iri() (string, error) {
 			}
 			p.pos++
 			if v == "" {
-				return "", p.err("empty IRI")
+				return "", false, p.err("empty IRI")
 			}
-			return v, nil
+			return v, sb != nil, nil
 		case '\\':
 			if sb == nil {
 				sb = &strings.Builder{}
@@ -167,19 +196,22 @@ func (p *lineParser) iri() (string, error) {
 			}
 			r, err := p.escape()
 			if err != nil {
-				return "", err
+				return "", false, err
 			}
 			sb.WriteRune(r)
 		case ' ', '\t', '<', '"':
-			return "", p.err(fmt.Sprintf("character %q not allowed in IRI", c))
+			return "", false, p.err(fmt.Sprintf("character %q not allowed in IRI", c))
 		default:
+			if p.strict && c < 0x20 {
+				return "", false, p.err("raw control character in IRI (use \\u escape)")
+			}
 			if sb != nil {
 				sb.WriteByte(c)
 			}
 			p.pos++
 		}
 	}
-	return "", p.err("unterminated IRI")
+	return "", false, p.err("unterminated IRI")
 }
 
 func (p *lineParser) blankLabel() (string, error) {
@@ -203,53 +235,108 @@ func (p *lineParser) blankLabel() (string, error) {
 	if p.pos == start {
 		return "", p.err("empty blank node label")
 	}
-	return p.s[start:p.pos], nil
+	label := p.s[start:p.pos]
+	if p.strict {
+		if err := p.checkBlankLabel(label); err != nil {
+			return "", err
+		}
+	}
+	return label, nil
 }
 
-func (p *lineParser) literal() (string, error) {
+// checkBlankLabel enforces the strict-mode label alphabet: an
+// approximation of the W3C BLANK_NODE_LABEL production over ASCII.
+func (p *lineParser) checkBlankLabel(label string) error {
+	for i := 0; i < len(label); i++ {
+		c := label[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_':
+		case (c == '-' || c == '.') && i > 0:
+		default:
+			return p.err(fmt.Sprintf("character %q not allowed in blank node label", c))
+		}
+	}
+	if label[len(label)-1] == '.' {
+		return p.err("blank node label must not end with '.'")
+	}
+	return nil
+}
+
+// literal parses a quoted literal with its optional language-tag or
+// datatype suffix folded in. The owned result reports whether the value
+// required fresh allocation or is a view into the line.
+func (p *lineParser) literal() (v string, owned bool, err error) {
 	p.pos++ // opening quote
-	var sb strings.Builder
+	start := p.pos
+	var sb *strings.Builder
 	for p.pos < len(p.s) {
 		c := p.s[p.pos]
 		switch c {
 		case '"':
+			var v string
+			if sb != nil {
+				v = sb.String()
+			} else {
+				v = p.s[start:p.pos]
+			}
 			p.pos++
-			return sb.String() + p.literalSuffix(), nil
+			suffix, err := p.literalSuffix()
+			if err != nil {
+				return "", false, err
+			}
+			if suffix == "" {
+				return v, sb != nil, nil
+			}
+			return v + suffix, true, nil
 		case '\\':
+			if sb == nil {
+				sb = &strings.Builder{}
+				sb.WriteString(p.s[start:p.pos])
+			}
 			r, err := p.escape()
 			if err != nil {
-				return "", err
+				return "", false, err
 			}
 			sb.WriteRune(r)
 		default:
-			sb.WriteByte(c)
+			if p.strict && c < 0x20 {
+				return "", false, p.err("raw control character in literal (use \\u escape)")
+			}
+			if sb != nil {
+				sb.WriteByte(c)
+			}
 			p.pos++
 		}
 	}
-	return "", p.err("unterminated literal")
+	return "", false, p.err("unterminated literal")
 }
 
 // literalSuffix consumes an optional language tag or datatype annotation and
 // returns its verbatim text, which is folded into the literal value so that
 // round-tripping through our plain-literal model stays lossless enough for
-// alignment purposes.
-func (p *lineParser) literalSuffix() string {
+// alignment purposes. The suffix is part of the literal value, so strict
+// mode applies the same raw-control-character rejection here as inside
+// the quotes.
+func (p *lineParser) literalSuffix() (string, error) {
+	if p.pos >= len(p.s) {
+		return "", nil
+	}
 	start := p.pos
-	if p.pos < len(p.s) && p.s[p.pos] == '@' {
+	switch {
+	case p.s[p.pos] == '@':
 		p.pos++
-		for p.pos < len(p.s) && p.s[p.pos] != ' ' && p.s[p.pos] != '\t' {
-			p.pos++
-		}
-		return p.s[start:p.pos]
-	}
-	if p.pos+1 < len(p.s) && p.s[p.pos] == '^' && p.s[p.pos+1] == '^' {
+	case p.pos+1 < len(p.s) && p.s[p.pos] == '^' && p.s[p.pos+1] == '^':
 		p.pos += 2
-		for p.pos < len(p.s) && p.s[p.pos] != ' ' && p.s[p.pos] != '\t' {
-			p.pos++
-		}
-		return p.s[start:p.pos]
+	default:
+		return "", nil
 	}
-	return ""
+	for p.pos < len(p.s) && p.s[p.pos] != ' ' && p.s[p.pos] != '\t' {
+		if p.strict && p.s[p.pos] < 0x20 {
+			return "", p.err("raw control character in literal suffix (use \\u escape)")
+		}
+		p.pos++
+	}
+	return p.s[start:p.pos], nil
 }
 
 // escape consumes a backslash escape sequence and returns the decoded rune.
@@ -311,89 +398,4 @@ func (p *lineParser) hexRune(n int) (rune, error) {
 		return 0, p.err("escape is not a valid unicode code point")
 	}
 	return v, nil
-}
-
-// WriteNTriples serialises g as N-Triples. Blank nodes are written as _:bN
-// where N is the node ID, which round-trips node distinctness (though not,
-// of course, the IDs themselves). Triples are emitted in the graph's sorted
-// order, so output is deterministic.
-func WriteNTriples(w io.Writer, g *Graph) error {
-	bw := bufio.NewWriter(w)
-	for _, t := range g.triples {
-		if err := writeTerm(bw, g, t.S); err != nil {
-			return err
-		}
-		bw.WriteByte(' ')
-		if err := writeTerm(bw, g, t.P); err != nil {
-			return err
-		}
-		bw.WriteByte(' ')
-		if err := writeTerm(bw, g, t.O); err != nil {
-			return err
-		}
-		if _, err := bw.WriteString(" .\n"); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
-}
-
-// FormatNTriples returns the N-Triples serialisation as a string.
-func FormatNTriples(g *Graph) string {
-	var sb strings.Builder
-	if err := WriteNTriples(&sb, g); err != nil {
-		// strings.Builder never fails; any error is a bug.
-		panic(err)
-	}
-	return sb.String()
-}
-
-func writeTerm(w *bufio.Writer, g *Graph, n NodeID) error {
-	l := g.labels[n]
-	switch l.Kind {
-	case URI:
-		w.WriteByte('<')
-		escapeInto(w, l.Value, true)
-		return w.WriteByte('>')
-	case Literal:
-		w.WriteByte('"')
-		escapeInto(w, l.Value, false)
-		return w.WriteByte('"')
-	default:
-		_, err := fmt.Fprintf(w, "_:b%d", n)
-		return err
-	}
-}
-
-func escapeInto(w *bufio.Writer, s string, iri bool) {
-	for _, r := range s {
-		switch r {
-		case '\\':
-			w.WriteString(`\\`)
-		case '\n':
-			w.WriteString(`\n`)
-		case '\r':
-			w.WriteString(`\r`)
-		case '\t':
-			w.WriteString(`\t`)
-		case '"':
-			if iri {
-				fmt.Fprintf(w, `\u%04X`, r)
-			} else {
-				w.WriteString(`\"`)
-			}
-		case '>', '<':
-			if iri {
-				fmt.Fprintf(w, `\u%04X`, r)
-			} else {
-				w.WriteRune(r)
-			}
-		default:
-			if r < 0x20 {
-				fmt.Fprintf(w, `\u%04X`, r)
-			} else {
-				w.WriteRune(r)
-			}
-		}
-	}
 }

@@ -400,8 +400,19 @@ func hasScheme(iri string) bool {
 	return false
 }
 
-// prefixedName parses pre:local.
+// prefixedName parses pre:local into a URI node.
 func (p *turtleParser) prefixedName() (NodeID, error) {
+	iri, err := p.prefixedNameValue()
+	if err != nil {
+		return 0, err
+	}
+	return p.b.URI(iri), nil
+}
+
+// prefixedNameValue parses pre:local and resolves it to its IRI without
+// creating a node — datatype annotations are folded into the literal
+// value and must not intern an isolated URI node as a side effect.
+func (p *turtleParser) prefixedNameValue() (string, error) {
 	p.skipWS()
 	start := p.pos
 	for p.pos < len(p.src) && p.src[p.pos] != ':' {
@@ -412,13 +423,13 @@ func (p *turtleParser) prefixedName() (NodeID, error) {
 		p.pos += size
 	}
 	if p.pos >= len(p.src) || p.src[p.pos] != ':' {
-		return 0, p.errf("expected a prefixed name")
+		return "", p.errf("expected a prefixed name")
 	}
 	prefix := p.src[start:p.pos]
 	p.pos++ // ':'
 	ns, ok := p.prefixes[prefix]
 	if !ok {
-		return 0, p.errf("undeclared prefix %q", prefix)
+		return "", p.errf("undeclared prefix %q", prefix)
 	}
 	localStart := p.pos
 	for p.pos < len(p.src) {
@@ -434,7 +445,7 @@ func (p *turtleParser) prefixedName() (NodeID, error) {
 		local = local[:len(local)-1]
 		p.pos--
 	}
-	return p.b.URI(ns + local), nil
+	return ns + local, nil
 }
 
 func isPNStart(r rune) bool {
@@ -559,11 +570,11 @@ func (p *turtleParser) literal() (string, error) {
 			}
 			sb.WriteString("<" + iri + ">")
 		} else {
-			n, err := p.prefixedName()
+			iri, err := p.prefixedNameValue()
 			if err != nil {
 				return "", err
 			}
-			sb.WriteString("<" + p.b.labels[n].Value + ">")
+			sb.WriteString("<" + iri + ">")
 		}
 	}
 	return sb.String(), nil
@@ -762,24 +773,36 @@ func turtleSafeLocal(local string) bool {
 	return true
 }
 
+// escapeIRITurtle and escapeLiteralTurtle scan bytewise: every character
+// that needs escaping is ASCII, and clean spans (including invalid UTF-8
+// a lax parse admitted) are copied through verbatim, keeping the round
+// trip lossless at the byte level.
 func escapeIRITurtle(sb *strings.Builder, s string) {
-	for _, r := range s {
-		switch r {
-		case '<', '>', '"', '{', '}', '|', '^', '`', '\\':
-			fmt.Fprintf(sb, "\\u%04X", r)
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c <= 0x20:
+		case c == '<', c == '>', c == '"', c == '{', c == '}', c == '|', c == '^', c == '`', c == '\\':
 		default:
-			if r < 0x21 {
-				fmt.Fprintf(sb, "\\u%04X", r)
-			} else {
-				sb.WriteRune(r)
-			}
+			continue
 		}
+		sb.WriteString(s[start:i])
+		fmt.Fprintf(sb, "\\u%04X", c)
+		start = i + 1
 	}
+	sb.WriteString(s[start:])
 }
 
 func escapeLiteralTurtle(sb *strings.Builder, s string) {
-	for _, r := range s {
-		switch r {
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x20 && c != '\\' && c != '"' {
+			continue
+		}
+		sb.WriteString(s[start:i])
+		switch c {
 		case '\\':
 			sb.WriteString(`\\`)
 		case '"':
@@ -791,11 +814,9 @@ func escapeLiteralTurtle(sb *strings.Builder, s string) {
 		case '\t':
 			sb.WriteString(`\t`)
 		default:
-			if r < 0x20 {
-				fmt.Fprintf(sb, "\\u%04X", r)
-			} else {
-				sb.WriteRune(r)
-			}
+			fmt.Fprintf(sb, "\\u%04X", c)
 		}
+		start = i + 1
 	}
+	sb.WriteString(s[start:])
 }

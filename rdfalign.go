@@ -28,18 +28,43 @@ type (
 // NewBuilder returns a builder for a graph with the given diagnostic name.
 func NewBuilder(name string) *Builder { return rdf.NewBuilder(name) }
 
+// ParseOption configures ParseNTriples and ParseNTriplesString.
+type ParseOption = rdf.ParseOption
+
+// WriteOption configures WriteNTriples.
+type WriteOption = rdf.WriteOption
+
+// WithParseWorkers sets the number of N-Triples parse workers: values
+// above 1 enable the parallel block pipeline, 0 and 1 select the
+// sequential path, and negative values use all cores. The resulting graph
+// is bit-identical (node IDs, labels, triples) for every worker count.
+func WithParseWorkers(n int) ParseOption { return rdf.WithParseWorkers(n) }
+
+// WithStrictMode tightens the accepted N-Triples dialect: term values
+// must be valid UTF-8, control characters must be escaped, and blank node
+// labels are restricted to the W3C label alphabet.
+func WithStrictMode() ParseOption { return rdf.WithStrictMode() }
+
+// WithWriteWorkers sets the number of N-Triples formatting workers:
+// values above 1 enable the parallel fast path, 0 and 1 select the
+// sequential writer, and negative values use all cores. Output bytes are
+// identical for every worker count.
+func WithWriteWorkers(n int) WriteOption { return rdf.WithWriteWorkers(n) }
+
 // ParseNTriples reads an N-Triples document into a validated graph.
-func ParseNTriples(r io.Reader, name string) (*Graph, error) {
-	return rdf.ParseNTriples(r, name)
+func ParseNTriples(r io.Reader, name string, opts ...ParseOption) (*Graph, error) {
+	return rdf.ParseNTriples(r, name, opts...)
 }
 
 // ParseNTriplesString parses an in-memory N-Triples document.
-func ParseNTriplesString(doc, name string) (*Graph, error) {
-	return rdf.ParseNTriplesString(doc, name)
+func ParseNTriplesString(doc, name string, opts ...ParseOption) (*Graph, error) {
+	return rdf.ParseNTriplesString(doc, name, opts...)
 }
 
 // WriteNTriples serialises a graph as N-Triples.
-func WriteNTriples(w io.Writer, g *Graph) error { return rdf.WriteNTriples(w, g) }
+func WriteNTriples(w io.Writer, g *Graph, opts ...WriteOption) error {
+	return rdf.WriteNTriples(w, g, opts...)
+}
 
 // ParseTurtle reads a Turtle document (the supported subset covers
 // prefixes, predicate/object lists, anonymous blanks, literal
