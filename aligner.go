@@ -106,15 +106,18 @@ func WithProgress(f ProgressFunc) Option {
 	return func(c *alignerConfig) { c.progress = f }
 }
 
-// WithParallelism parallelises partition recoloring across the given number
-// of goroutines (the shared-memory analogue of the distributed bisimulation
-// the paper points to in §5.3). workers == 1 runs sequentially; workers <=
-// 0 selects GOMAXPROCS — callers exposing a "0 means sequential" knob (like
-// cmd/rdfalign's -workers flag) must therefore not call WithParallelism for
-// non-positive values. The parallel path covers the paper's default
-// outbound recoloring; with WithContextual, WithAdaptive or
-// WithKeyPredicates active, refinement runs sequentially. Results are
-// identical to the sequential engine either way.
+// WithParallelism parallelises partition recoloring — and, for the Overlap
+// method, the matching phases of Algorithm 2 (candidate generation and
+// σ/edit-distance verification fan out across source nodes) — across the
+// given number of goroutines (the shared-memory analogue of the distributed
+// bisimulation the paper points to in §5.3). workers == 1 runs
+// sequentially; workers <= 0 selects GOMAXPROCS — callers exposing a "0
+// means sequential" knob (like cmd/rdfalign's -workers flag) must therefore
+// not call WithParallelism for non-positive values. The parallel path
+// covers the paper's default outbound recoloring; with WithContextual,
+// WithAdaptive or WithKeyPredicates active, refinement runs sequentially.
+// Results are identical to the sequential engine either way — colorings,
+// weights and pair sets are bit-identical for every worker count.
 func WithParallelism(workers int) Option {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -216,6 +219,7 @@ func (al *Aligner) Align(ctx context.Context, g1, g2 *Graph) (*Alignment, error)
 			Theta:   al.cfg.theta,
 			Epsilon: al.cfg.epsilon,
 			Hooks:   eng.Hooks,
+			Workers: al.cfg.workers,
 		})
 		if err != nil {
 			break

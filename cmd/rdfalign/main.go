@@ -8,7 +8,9 @@
 // nodes by incoming edges too, -adaptive fixes predicate-only URI
 // misalignments, -keys restricts refinement to a predicate key set.
 // -timeout bounds the run through context cancellation, -progress streams
-// per-round progress to stderr, and -workers parallelises refinement.
+// per-round progress to stderr, and -workers parallelises refinement and,
+// for -method overlap, the matching phases (bit-identical output for every
+// worker count).
 // Input files are streamed through the parallel N-Triples pipeline
 // (-parse-workers, default all cores; the parsed graph is bit-identical
 // to a sequential parse); -strict tightens the accepted N-Triples
@@ -33,7 +35,7 @@ func main() {
 	keys := flag.String("keys", "", "comma-separated predicate URIs restricting refinement (graph keys, §6)")
 	timeout := flag.Duration("timeout", 0, "abort the alignment after this duration (0 = no limit)")
 	progress := flag.Bool("progress", false, "stream per-round progress to stderr")
-	workers := flag.Int("workers", 0, "parallel refinement workers (0 or 1 = sequential, -1 = all cores)")
+	workers := flag.Int("workers", 0, "parallel refinement and overlap-matching workers (0 or 1 = sequential, -1 = all cores)")
 	parseWorkers := flag.Int("parse-workers", -1, "parallel parse workers (0 or 1 = sequential, -1 = all cores)")
 	strict := flag.Bool("strict", false, "reject lax N-Triples (raw control characters, invalid UTF-8, nonstandard blank labels)")
 	pairs := flag.Bool("pairs", false, "print every aligned URI pair")

@@ -87,6 +87,25 @@
 // predicate-occurrence neighbourhoods the outbound dependency frontier
 // does not cover, so they refine by exhaustive recoloring as before.
 //
+// The Overlap method's matching phases (Algorithm 2) scale the same two
+// ways. WithParallelism also fans the matching scans out across workers:
+// candidates are generated from a shared read-only inverted index and each
+// worker verifies its own source nodes (σ/edit-distance verification is
+// the dominant per-round cost), with per-worker edge batches merged in
+// source order — the discovered pairs, and therefore the final colorings
+// and weights, are bit-identical for every worker count, extending the
+// engine's determinism guarantee across all three fixpoints and the
+// matching phases. And the per-round non-literal match is incremental: the
+// inverted index and the characterisation/σNL caches survive across rounds
+// and are repaired from the nodes Enrich and Propagate actually moved
+// (core.Engine.PropagateChanged exposes the worklist's change lists)
+// instead of being rebuilt while the unaligned sets only shrink —
+// oracle-tested against a from-scratch rebuild every round. Component
+// enrichment runs a heap-based Dijkstra, so a pathologically large
+// component of near-duplicate literals no longer costs O(|component|³).
+// Cancellation latency inside a matching scan is bounded per candidate
+// batch, not per source node.
+//
 // Thresholds follow one convention everywhere: Align_θ is inclusive
 // (σ(n, m) ≤ θ, §4.1), and every θ-taking option accepts (0, 1] with the
 // zero value selecting the paper's 0.65 default.

@@ -78,8 +78,10 @@ type BuildOptions struct {
 	// refinements (the context/adaptive/key extensions); the zero value
 	// is the paper's default outbound recoloring.
 	Refine core.RefineOptions
-	// Workers parallelises refinement recoloring when > 1 (see
-	// core.Engine); <= 1 runs sequentially.
+	// Workers parallelises refinement recoloring (see core.Engine) and,
+	// with UseOverlap, the per-pair overlap matching phases
+	// (similarity.OverlapOptions.Workers) when > 1; <= 1 runs
+	// sequentially. Archives are bit-identical for every worker count.
 	Workers int
 	// Hooks threads cancellation and progress through the per-pair
 	// alignments; Build additionally checks the context before each pair
@@ -163,6 +165,7 @@ func alignPair(g1, g2 *rdf.Graph, opt BuildOptions) (*core.Partition, *rdf.Combi
 		Theta:   opt.Theta,
 		Epsilon: opt.Epsilon,
 		Hooks:   opt.Hooks,
+		Workers: opt.Workers,
 	})
 	if err != nil {
 		return nil, nil, err

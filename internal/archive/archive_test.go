@@ -1,6 +1,7 @@
 package archive
 
 import (
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
@@ -262,5 +263,33 @@ func TestArchiveWithOverlap(t *testing.T) {
 	// many rows.
 	if over.NumRows() > plain.NumRows() {
 		t.Errorf("overlap archive rows %d exceed hybrid rows %d", over.NumRows(), plain.NumRows())
+	}
+}
+
+// TestBuildOverlapWorkersDeterministic: an Overlap-method archive is
+// bit-identical — entity numbering, rows, intervals — for every worker
+// count (the matching scans and the propagation recoloring both fan out
+// under Workers).
+func TestBuildOverlapWorkersDeterministic(t *testing.T) {
+	d, err := dataset.GenerateGtoPdb(dataset.GtoPdbConfig{Versions: 3, Scale: 0.002, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Build(d.Graphs, BuildOptions{UseOverlap: true, Theta: 0.65, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		a, err := Build(d.Graphs, BuildOptions{UseOverlap: true, Theta: 0.65, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.NumEntities() != base.NumEntities() || a.NumRows() != base.NumRows() {
+			t.Fatalf("workers=%d: entities/rows %d/%d, want %d/%d",
+				workers, a.NumEntities(), a.NumRows(), base.NumEntities(), base.NumRows())
+		}
+		if !reflect.DeepEqual(a.Rows(), base.Rows()) {
+			t.Fatalf("workers=%d: archive rows diverge from sequential build", workers)
+		}
 	}
 }

@@ -192,7 +192,7 @@ func (e *Engine) RefineWeighted(g *rdf.Graph, xi *Weighted, x []rdf.NodeID, eps 
 		eps = DefaultEpsilon
 	}
 	if !e.FullRecolor {
-		return e.refineWeightedWorklist(g, xi, x, eps)
+		return e.refineWeightedWorklist(g, xi, x, eps, nil)
 	}
 	cur := xi
 	for iter := 0; ; iter++ {
@@ -225,4 +225,47 @@ func (e *Engine) Propagate(c *rdf.Combined, xi *Weighted, eps float64) (*Weighte
 	un := UnalignedNonLiterals(c, xi.P)
 	blanked := BlankOutWeighted(xi, un)
 	return e.RefineWeighted(c.Graph, blanked, un, eps)
+}
+
+// PropagateChanged is Propagate additionally returning the ascending,
+// deduplicated list of nodes whose color or weight the propagation moved —
+// the initial blank-out plus the worklist's per-round change lists. The
+// list is a superset of the strict input/output difference (a node that
+// changes and reverts stays listed) and is always a subset of the
+// propagation's recolor set, so incremental consumers (the overlap
+// matcher's per-round index) can invalidate exactly the dependents of the
+// listed nodes. With FullRecolor there are no worklist change lists; the
+// change list is then the exact input/output difference over the recolor
+// set.
+func (e *Engine) PropagateChanged(c *rdf.Combined, xi *Weighted, eps float64) (*Weighted, int, []rdf.NodeID, error) {
+	un := UnalignedNonLiterals(c, xi.P)
+	blanked := BlankOutWeighted(xi, un)
+	if eps <= 0 {
+		eps = DefaultEpsilon
+	}
+	if e.FullRecolor {
+		out, iters, err := e.RefineWeighted(c.Graph, blanked, un, eps)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		var changed []rdf.NodeID
+		for _, n := range un {
+			if out.P.colors[n] != xi.P.colors[n] || out.W[n] != xi.W[n] {
+				changed = append(changed, n)
+			}
+		}
+		sortNodeIDs(changed)
+		return out, iters, changed, nil
+	}
+	tracked := newChangeTracker(len(xi.W))
+	for _, n := range un {
+		if blanked.P.colors[n] != xi.P.colors[n] || blanked.W[n] != xi.W[n] {
+			tracked.add(n)
+		}
+	}
+	out, iters, err := e.refineWeightedWorklist(c.Graph, blanked, un, eps, tracked)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return out, iters, tracked.sorted(), nil
 }

@@ -434,8 +434,39 @@ type wchange struct {
 	w float64
 }
 
+// changeTracker accumulates, deduplicated, every node a weighted worklist
+// run recolored or reweighted in an applied round — the change list
+// Engine.PropagateChanged hands to incremental consumers (the overlap
+// matcher's per-round index repair). The set is a superset of the
+// input/output diff: a node that changes and later reverts stays tracked,
+// which is sound for cache invalidation (recomputing an unchanged node
+// reproduces the cached value).
+type changeTracker struct {
+	mark  []bool
+	nodes []rdf.NodeID
+}
+
+func newChangeTracker(n int) *changeTracker {
+	return &changeTracker{mark: make([]bool, n)}
+}
+
+func (t *changeTracker) add(n rdf.NodeID) {
+	if !t.mark[n] {
+		t.mark[n] = true
+		t.nodes = append(t.nodes, n)
+	}
+}
+
+// sorted returns the tracked nodes ascending.
+func (t *changeTracker) sorted() []rdf.NodeID {
+	sortNodeIDs(t.nodes)
+	return t.nodes
+}
+
 // refineWeightedWorklist is the incremental fixpoint behind
-// Engine.RefineWeighted. A node re-enters the frontier when a node its
+// Engine.RefineWeighted. tracked, when non-nil, collects every node an
+// applied round recolors or reweights (including the final, applied round —
+// see the stop handling below). A node re-enters the frontier when a node its
 // outbound neighbourhood mentions changed color or weight at all (δ > 0) —
 // not merely by ≥ ε — so skipped nodes are exactly the ones the full
 // RefineWeightedStep would recompute unchanged, and the engines agree
@@ -445,7 +476,7 @@ type wchange struct {
 // the parallel gather (roundWeighted: concurrent interning plus concurrent
 // reweighting), which preserves the bit-for-bit agreement across worker
 // counts.
-func (e *Engine) refineWeightedWorklist(g *rdf.Graph, xi *Weighted, x []rdf.NodeID, eps float64) (*Weighted, int, error) {
+func (e *Engine) refineWeightedWorklist(g *rdf.Graph, xi *Weighted, x []rdf.NodeID, eps float64, tracked *changeTracker) (*Weighted, int, error) {
 	cur := xi.Clone()
 	colors := cur.P.colors
 	w := cur.W
@@ -505,6 +536,14 @@ func (e *Engine) refineWeightedWorklist(g *rdf.Graph, xi *Weighted, x []rdf.Node
 		}
 		for _, wc := range wchanges {
 			w[wc.n] = wc.w
+		}
+		if tracked != nil {
+			for _, ch := range changes {
+				tracked.add(ch.n)
+			}
+			for _, wc := range wchanges {
+				tracked.add(wc.n)
+			}
 		}
 		if stop {
 			return cur, iter + 1, nil

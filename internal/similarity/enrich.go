@@ -17,8 +17,17 @@ import (
 // removed from consideration, as the paper assumes). The input ξ is not
 // modified.
 func Enrich(xi *core.Weighted, h *WeightedBipartite) *core.Weighted {
+	out, _ := EnrichChanged(xi, h)
+	return out
+}
+
+// EnrichChanged is Enrich additionally returning the nodes whose color or
+// weight it touched (every member of every component of H, ascending) — the
+// change list the incremental overlap matcher combines with the propagation
+// change list to invalidate exactly the characterisations a round moved.
+func EnrichChanged(xi *core.Weighted, h *WeightedBipartite) (*core.Weighted, []rdf.NodeID) {
 	if !h.HasEdges() {
-		return xi.Clone()
+		return xi.Clone(), nil
 	}
 	out := xi.Clone()
 
@@ -71,76 +80,189 @@ func Enrich(xi *core.Weighted, h *WeightedBipartite) *core.Weighted {
 	for _, n := range h.A {
 		aSide[n] = true
 	}
+	changed := make([]rdf.NodeID, 0, len(parent))
+	var cw compWeights
 	for _, r := range roots {
 		comp := members[r]
 		core.SortNodeIDs(comp)
-		dstar := shortestPaths(comp, compEdges[r])
+		weights := cw.compute(comp, compEdges[r], aSide)
 		color := xi.P.Interner().Fresh()
-		for _, n := range comp {
+		for i, n := range comp {
 			out.P.SetColor(n, color)
-			out.W[n] = halfMaxOpposite(n, comp, dstar, aSide)
+			out.W[n] = weights[i]
+			changed = append(changed, n)
 		}
 	}
-	return out
+	core.SortNodeIDs(changed)
+	return out, changed
 }
 
-// shortestPaths computes all-pairs ⊕-shortest-path distances within one
-// component of H (viewed as an undirected graph), via Dijkstra from every
-// member. Components are near-1-to-1 in practice, so this stays cheap.
-func shortestPaths(comp []rdf.NodeID, edges []BipartiteEdge) map[[2]rdf.NodeID]float64 {
-	adj := make(map[rdf.NodeID][]BipartiteEdge, len(comp))
+// compWeights computes the enrichment weights of one component of H: for
+// each member, half the maximum ⊕-shortest-path distance d* to any
+// opposite-side member, via one heap-based Dijkstra per member over the
+// component viewed as an undirected graph. Every buffer persists across
+// components (growing amortised), so steady-state components allocate
+// nothing; the returned weights slice is reused by the next compute call
+// and must be consumed before it.
+//
+// The previous implementation extracted the minimum by scanning a distance
+// map — O(|comp|²) per source, O(|comp|³) per component — so one large
+// component (e.g. many near-duplicate literals matching a common token)
+// stalled the whole alignment; the heap brings a sparse component of n
+// members and m edges to O(n·(n+m)·log n) total, and the weights are
+// value-identical (Dijkstra's distances do not depend on extract-min tie
+// order).
+type compWeights struct {
+	local   map[rdf.NodeID]int32
+	adjHead []int32
+	adjNext []int32
+	adjTo   []int32
+	adjD    []float64
+	dist    []float64
+	heap    []heapItem
+	weights []float64
+	isA     []bool
+}
+
+// sized returns s resized to length n, reallocating only on growth; the
+// contents are unspecified (every caller fully initialises its buffer).
+func sized[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// heapItem is one pending Dijkstra entry (lazy deletion: stale entries are
+// skipped when popped).
+type heapItem struct {
+	d float64
+	v int32
+}
+
+func (cw *compWeights) compute(comp []rdf.NodeID, edges []BipartiteEdge, aSide map[rdf.NodeID]bool) []float64 {
+	n := len(comp)
+	if cw.local == nil {
+		cw.local = make(map[rdf.NodeID]int32, n)
+	} else {
+		clear(cw.local)
+	}
+	for i, m := range comp {
+		cw.local[m] = int32(i)
+	}
+	// Undirected adjacency as linked half-edge lists over flat arrays.
+	cw.adjHead = sized(cw.adjHead, n)
+	for i := range cw.adjHead {
+		cw.adjHead[i] = -1
+	}
+	cw.adjNext = cw.adjNext[:0]
+	cw.adjTo = cw.adjTo[:0]
+	cw.adjD = cw.adjD[:0]
+	addHalf := func(from, to int32, d float64) {
+		cw.adjNext = append(cw.adjNext, cw.adjHead[from])
+		cw.adjTo = append(cw.adjTo, to)
+		cw.adjD = append(cw.adjD, d)
+		cw.adjHead[from] = int32(len(cw.adjTo) - 1)
+	}
 	for _, e := range edges {
-		adj[e.A] = append(adj[e.A], e)
-		adj[e.B] = append(adj[e.B], BipartiteEdge{A: e.B, B: e.A, D: e.D})
+		a, b := cw.local[e.A], cw.local[e.B]
+		addHalf(a, b, e.D)
+		addHalf(b, a, e.D)
 	}
-	dist := make(map[[2]rdf.NodeID]float64, len(comp)*len(comp))
-	for _, src := range comp {
-		// Dijkstra with ⊕ accumulation (non-negative, capped at 1).
-		d := map[rdf.NodeID]float64{src: 0}
-		done := map[rdf.NodeID]bool{}
-		for {
-			// Extract min.
-			best := rdf.NodeID(-1)
-			bestD := 2.0
-			for n, dn := range d {
-				if !done[n] && dn < bestD {
-					best, bestD = n, dn
-				}
+	cw.dist = sized(cw.dist, n)
+	cw.weights = sized(cw.weights, n)
+	cw.isA = sized(cw.isA, n)
+	isA := cw.isA
+	for i, m := range comp {
+		isA[i] = aSide[m]
+	}
+	for src := 0; src < n; src++ {
+		cw.dijkstra(int32(src))
+		// w(src) = max d* to the opposite side, halved. Unreachable
+		// members count as distance 1 (cannot happen within a
+		// component, kept as the defensive convention).
+		maxD := 0.0
+		for j := 0; j < n; j++ {
+			if isA[j] == isA[src] {
+				continue
 			}
-			if best == -1 {
-				break
+			d := cw.dist[j]
+			if d > 1 {
+				d = 1
 			}
-			done[best] = true
-			for _, e := range adj[best] {
-				nd := core.OPlus(bestD, e.D)
-				if cur, ok := d[e.B]; !ok || nd < cur {
-					d[e.B] = nd
-				}
+			if d > maxD {
+				maxD = d
 			}
 		}
-		for _, dst := range comp {
-			if dn, ok := d[dst]; ok {
-				dist[[2]rdf.NodeID{src, dst}] = dn
-			} else {
-				dist[[2]rdf.NodeID{src, dst}] = 1 // unreachable (cannot happen within a component)
-			}
-		}
+		cw.weights[src] = maxD / 2
 	}
-	return dist
+	return cw.weights
 }
 
-// halfMaxOpposite returns half the maximum d* distance from n to any
-// opposite-side member of its component.
-func halfMaxOpposite(n rdf.NodeID, comp []rdf.NodeID, dstar map[[2]rdf.NodeID]float64, aSide map[rdf.NodeID]bool) float64 {
-	isSource := aSide[n]
-	maxD := 0.0
-	for _, m := range comp {
-		if aSide[m] == isSource {
-			continue
+// dijkstra fills cw.dist with the ⊕-shortest-path distances from src
+// (sentinel 2 marks unreached nodes; every true distance is ≤ 1 because ⊕
+// caps at 1).
+func (cw *compWeights) dijkstra(src int32) {
+	for i := range cw.dist {
+		cw.dist[i] = 2
+	}
+	cw.dist[src] = 0
+	h := cw.heap[:0]
+	h = pushHeap(h, heapItem{d: 0, v: src})
+	for len(h) > 0 {
+		var it heapItem
+		it, h = popHeap(h)
+		if it.d != cw.dist[it.v] {
+			continue // stale entry
 		}
-		if d := dstar[[2]rdf.NodeID{n, m}]; d > maxD {
-			maxD = d
+		for ei := cw.adjHead[it.v]; ei != -1; ei = cw.adjNext[ei] {
+			to := cw.adjTo[ei]
+			nd := core.OPlus(it.d, cw.adjD[ei])
+			if nd < cw.dist[to] {
+				cw.dist[to] = nd
+				h = pushHeap(h, heapItem{d: nd, v: to})
+			}
 		}
 	}
-	return maxD / 2
+	cw.heap = h
+}
+
+// pushHeap and popHeap implement a plain binary min-heap on a slice (no
+// container/heap interface boxing in the hot loop).
+func pushHeap(h []heapItem, it heapItem) []heapItem {
+	h = append(h, it)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].d <= h[i].d {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
+
+func popHeap(h []heapItem) (heapItem, []heapItem) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l].d < h[small].d {
+			small = l
+		}
+		if r < len(h) && h[r].d < h[small].d {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top, h
 }

@@ -27,10 +27,22 @@ type OverlapOptions struct {
 	MaxRounds int
 	// Hooks threads cancellation and progress through the loop: the
 	// context is checked once per round, once per propagation round
-	// inside it, and once per source node inside each matching phase;
-	// a StageOverlap event is reported after each round. The zero value
-	// disables both.
+	// inside it, and once per source node plus once per candidate batch
+	// inside each matching phase; a StageOverlap event is reported after
+	// each round. The zero value disables both.
 	Hooks core.Hooks
+	// Workers > 1 parallelises the matching phases (candidate generation
+	// and σ-verification fan out across source nodes, see
+	// OverlapMatchWorkers) and the propagation recoloring
+	// (core.Engine.Workers); <= 1 runs sequentially. Every worker count
+	// produces bit-identical colorings, weights and pair sets.
+	Workers int
+
+	// scratchIndex disables the incremental per-round index of the
+	// non-literal matching phase, rebuilding it from scratch every round.
+	// Unexported: the oracle knob of the incremental-vs-scratch property
+	// tests.
+	scratchIndex bool
 }
 
 // DefaultTheta is the threshold used throughout the paper's evaluation.
@@ -74,6 +86,14 @@ func (r *OverlapResult) Alignment(c *rdf.Combined) *core.Alignment {
 //	repeat: ξi := Propagate(Enrich(ξi−1, Hi−1))
 //	        Hi := OverlapMatch(unaligned non-literals, θ, out-color, σNL)
 //	until Hi has no edges
+//
+// The per-round non-literal match runs over an incrementally maintained
+// index: the inverted index over B and the characterisation/σNL caches
+// survive across rounds and are repaired from the nodes Enrich and
+// Propagate actually moved (see nlMatcher), instead of being rebuilt from
+// scratch while Unaligned only shrinks. With opt.Workers > 1 the matching
+// scans and the propagation recoloring additionally fan out across
+// goroutines; every configuration yields bit-identical results.
 func OverlapAlign(c *rdf.Combined, hybrid *core.Partition, opt OverlapOptions) (*OverlapResult, error) {
 	if opt.Theta == 0 {
 		opt.Theta = DefaultTheta
@@ -89,18 +109,21 @@ func OverlapAlign(c *rdf.Combined, hybrid *core.Partition, opt OverlapOptions) (
 	xi := core.NewWeighted(hybrid.Clone())
 	// Lines 2–4: initial literal matching.
 	a0, b0 := unalignedLiterals(c, xi.P)
-	h, err := OverlapMatchHooks(a0, b0, opt.Theta, func(n rdf.NodeID) []string {
+	h, err := OverlapMatchWorkers(a0, b0, opt.Theta, func(n rdf.NodeID) []string {
 		return Split(c.Label(n).Value)
 	}, func(n, m rdf.NodeID) (float64, bool) {
 		return strdist.WithinThreshold(c.Label(n).Value, c.Label(m).Value, opt.Theta)
-	}, opt.Hooks)
+	}, opt.Hooks, opt.Workers)
 	if err != nil {
 		return nil, err
 	}
 	res.LiteralPairs = len(h.Edges)
 
 	// Lines 5–12.
-	eng := &core.Engine{Hooks: opt.Hooks}
+	eng := &core.Engine{Hooks: opt.Hooks, Workers: opt.Workers}
+	matcher := newNLMatcher(c, opt.Theta, opt.Workers)
+	matcher.scratchRounds = opt.scratchIndex
+	var changed []rdf.NodeID
 	for {
 		if err := opt.Hooks.Err(); err != nil {
 			return nil, err
@@ -109,13 +132,19 @@ func OverlapAlign(c *rdf.Combined, hybrid *core.Partition, opt OverlapOptions) (
 		if res.Rounds > opt.MaxRounds {
 			return nil, fmt.Errorf("similarity: overlap alignment did not terminate after %d rounds", opt.MaxRounds)
 		}
-		next, _, err := eng.Propagate(c, Enrich(xi, h), opt.Epsilon)
+		enriched, enrichChanged := EnrichChanged(xi, h)
+		next, _, propChanged, err := eng.PropagateChanged(c, enriched, opt.Epsilon)
 		if err != nil {
 			return nil, err
 		}
 		xi = next
+		// The round moved exactly the colors/weights Enrich assigned plus
+		// the ones the propagation worklist recolored or reweighted; the
+		// incremental matcher invalidates their recolor dependents.
+		changed = append(changed[:0], enrichChanged...)
+		changed = append(changed, propChanged...)
 		ai, bi := unalignedNonLiteralsBySide(c, xi.P)
-		h, err = matchNonLiterals(c, xi, ai, bi, opt.Theta, opt.Hooks)
+		h, err = matcher.round(xi, ai, bi, changed, opt.Hooks)
 		if err != nil {
 			return nil, err
 		}
@@ -188,17 +217,6 @@ func OutColors(c *rdf.Combined, p *core.Partition, n rdf.NodeID) []uint64 {
 	return dedup(keys)
 }
 
-// matchNonLiterals runs OverlapMatch over unaligned non-literal nodes with
-// the out-color characterisation and the σNL distance.
-func matchNonLiterals(c *rdf.Combined, xi *core.Weighted, a, b []rdf.NodeID, theta float64, hooks core.Hooks) (*WeightedBipartite, error) {
-	return OverlapMatchHooks(a, b, theta, func(n rdf.NodeID) []uint64 {
-		return OutColors(c, xi.P, n)
-	}, func(n, m rdf.NodeID) (float64, bool) {
-		d := NLDistance(c, xi, n, m)
-		return d, d <= theta
-	}, hooks)
-}
-
 // nlEdge is one outbound edge annotated with its color key and weight for
 // the rank-wise coupling of σNL.
 type nlEdge struct {
@@ -219,8 +237,13 @@ type nlEdge struct {
 // As the paper notes, no Hungarian algorithm is needed: grouping by color
 // plus weight-rank coupling realises the optimal same-color matching.
 func NLDistance(c *rdf.Combined, xi *core.Weighted, n, m rdf.NodeID) float64 {
-	en := nlEdges(c, xi, n)
-	em := nlEdges(c, xi, m)
+	return nlDistanceEdges(nlEdges(c, xi, n), nlEdges(c, xi, m))
+}
+
+// nlDistanceEdges is NLDistance over precomputed (key, weight) edge lists —
+// the form the incremental matcher verifies candidates with, so the lists
+// are built once per node per round instead of once per candidate pair.
+func nlDistanceEdges(en, em []nlEdge) float64 {
 	fn := distinctKeys(en)
 	fm := distinctKeys(em)
 	f := fn

@@ -1,8 +1,12 @@
 package similarity
 
 import (
+	"cmp"
 	"math"
+	"slices"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"rdfalign/internal/core"
 	"rdfalign/internal/rdf"
@@ -79,7 +83,7 @@ type DistFunc func(a, b rdf.NodeID) (float64, bool)
 // of the paper's Figure 15 while scanning at least the paper's prefix.
 //
 // The output is deterministic: edges are sorted by (A, B).
-func OverlapMatch[O comparable](a, b []rdf.NodeID, theta float64, char func(rdf.NodeID) []O, dist DistFunc) *WeightedBipartite {
+func OverlapMatch[O cmp.Ordered](a, b []rdf.NodeID, theta float64, char func(rdf.NodeID) []O, dist DistFunc) *WeightedBipartite {
 	h, _ := OverlapMatchHooks(a, b, theta, char, dist, core.Hooks{})
 	return h
 }
@@ -87,31 +91,187 @@ func OverlapMatch[O comparable](a, b []rdf.NodeID, theta float64, char func(rdf.
 // OverlapMatchHooks is OverlapMatch with cancellation: the matching phase
 // can dominate a round's cost (it runs edit-distance verification over the
 // candidate pairs), so the hooks' context is checked once per source node
-// and the scan aborts with the context's error.
-func OverlapMatchHooks[O comparable](a, b []rdf.NodeID, theta float64, char func(rdf.NodeID) []O, dist DistFunc, hooks core.Hooks) (*WeightedBipartite, error) {
+// and additionally once per cancelBatch candidates inside each node's
+// verification scan, and the scan aborts with the context's error.
+func OverlapMatchHooks[O cmp.Ordered](a, b []rdf.NodeID, theta float64, char func(rdf.NodeID) []O, dist DistFunc, hooks core.Hooks) (*WeightedBipartite, error) {
+	return OverlapMatchWorkers(a, b, theta, char, dist, hooks, 1)
+}
+
+// OverlapMatchWorkers is OverlapMatchHooks parallelised across source
+// nodes: the inverted index over B is built once, then workers scan
+// disjoint chunks of A over the shared read-only index, verifying their own
+// candidates (the σ/edit-distance verification dominates the scan, so it is
+// what parallelises). Per-worker edge batches are merged in source order
+// and finally sorted by (A, B), so the output is bit-identical to the
+// sequential scan for every worker count. workers <= 1 runs sequentially;
+// with workers > 1 both char and dist must be safe for concurrent use
+// (the characterisations and distances of Algorithm 2 are pure reads).
+func OverlapMatchWorkers[O cmp.Ordered](a, b []rdf.NodeID, theta float64, char func(rdf.NodeID) []O, dist DistFunc, hooks core.Hooks, workers int) (*WeightedBipartite, error) {
 	h := &WeightedBipartite{A: a, B: b}
+	if err := hooks.Err(); err != nil {
+		return nil, err
+	}
 	if len(a) == 0 || len(b) == 0 {
 		return h, nil
 	}
-	// Lines 1–6: inverted index and frequency counts over B.
-	inv := make(map[O][]rdf.NodeID)
-	charB := make(map[rdf.NodeID][]O, len(b))
+	// Lines 1–6: inverted index, characterisations and frequency counts
+	// over B.
+	sortedB := make(map[rdf.NodeID][]O, len(b))
+	ix := &matchIndex[O]{
+		theta:   theta,
+		inv:     make(map[O][]rdf.NodeID),
+		sortedB: func(m rdf.NodeID) []O { return sortedB[m] },
+		charA:   func(n rdf.NodeID) []O { return dedup(char(n)) },
+		dist:    dist,
+	}
 	for _, m := range b {
 		objs := dedup(char(m))
-		charB[m] = objs
+		sorted := slices.Clone(objs)
+		slices.Sort(sorted)
+		sortedB[m] = sorted
 		for _, o := range objs {
-			inv[o] = append(inv[o], m)
+			ix.inv[o] = append(ix.inv[o], m)
 		}
 	}
-	// Lines 9–19.
-	seen := make(map[rdf.NodeID]int) // candidate stamp per a-node iteration
-	stamp := 0
+	edges, err := ix.scan(a, hooks, workers)
+	if err != nil {
+		return nil, err
+	}
+	h.Edges = edges
+	return h, nil
+}
+
+// cancelBatch bounds cancellation latency inside one source node's
+// verification scan: the hooks' context is re-checked every cancelBatch
+// candidates, so a node with a huge candidate list cannot keep running
+// distance verification long after the context is cancelled.
+const cancelBatch = 64
+
+// parallelMatchMin is the minimum source-set size at which the parallel
+// scan pays for its coordination overhead.
+const parallelMatchMin = 16
+
+// matchIndex is the shared read-only state of one matching scan (lines 9–19
+// of Algorithm 1): the inverted index and sorted characterisations over B,
+// the characterisation of A nodes, and the verification distance. A scan
+// never mutates the index, which is what makes the worker fan-out safe; the
+// candidate screen intersects pre-sorted object slices (a merge, no
+// per-pair set allocation) and is value-identical to
+// Overlap(char(a), char(b)) ≥ θ because both slices are deduplicated.
+type matchIndex[O cmp.Ordered] struct {
+	theta float64
+	// inv maps an object to the B nodes whose characterisation contains
+	// it. Posting-list order is irrelevant (candidates are deduplicated
+	// and sorted); only membership and length (the frequency used by the
+	// prefix filter) are.
+	inv map[O][]rdf.NodeID
+	// sortedB returns a B node's deduplicated characterisation in
+	// ascending order, for the merge-intersection screen.
+	sortedB func(rdf.NodeID) []O
+	// charA returns an A node's deduplicated characterisation in
+	// first-occurrence order (the deterministic tie-break of the
+	// frequency sort). The scan treats the slice as read-only.
+	charA func(rdf.NodeID) []O
+	dist  DistFunc
+}
+
+// matchScratch is one worker's reusable buffers.
+type matchScratch[O cmp.Ordered] struct {
+	seen    map[rdf.NodeID]int
+	stamp   int
+	cand    []rdf.NodeID
+	byFreq  []O
+	sortedA []O
+}
+
+// scan runs lines 9–19 over the source nodes a. With workers > 1 and
+// enough sources, disjoint chunks of a are scanned concurrently and the
+// per-chunk edge batches concatenated in chunk (= source) order; the final
+// (A, B) sort makes the output identical either way.
+func (ix *matchIndex[O]) scan(a []rdf.NodeID, hooks core.Hooks, workers int) ([]BipartiteEdge, error) {
+	var edges []BipartiteEdge
+	var err error
+	if workers > len(a) {
+		workers = len(a)
+	}
+	if workers <= 1 || len(a) < parallelMatchMin {
+		edges, err = ix.scanRange(a, hooks, &matchScratch[O]{seen: make(map[rdf.NodeID]int)})
+	} else {
+		edges, err = ix.scanParallel(a, hooks, workers)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].A != edges[j].A {
+			return edges[i].A < edges[j].A
+		}
+		return edges[i].B < edges[j].B
+	})
+	return edges, nil
+}
+
+// scanParallel fans the scan out over a worker pool. Chunks are claimed
+// through an atomic cursor (candidate-list sizes vary wildly, so static
+// splitting would leave workers idle) but results land in a per-chunk slot,
+// so the merge is in chunk order and the first error in chunk order wins —
+// both independent of scheduling.
+func (ix *matchIndex[O]) scanParallel(a []rdf.NodeID, hooks core.Hooks, workers int) ([]BipartiteEdge, error) {
+	chunk := (len(a) + workers*4 - 1) / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	nchunks := (len(a) + chunk - 1) / chunk
+	chunkEdges := make([][]BipartiteEdge, nchunks)
+	chunkErr := make([]error, nchunks)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := &matchScratch[O]{seen: make(map[rdf.NodeID]int)}
+			for {
+				ci := int(cursor.Add(1)) - 1
+				if ci >= nchunks {
+					return
+				}
+				lo := ci * chunk
+				hi := lo + chunk
+				if hi > len(a) {
+					hi = len(a)
+				}
+				chunkEdges[ci], chunkErr[ci] = ix.scanRange(a[lo:hi], hooks, sc)
+				if chunkErr[ci] != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for ci := range chunkEdges {
+		if chunkErr[ci] != nil {
+			return nil, chunkErr[ci]
+		}
+		total += len(chunkEdges[ci])
+	}
+	edges := make([]BipartiteEdge, 0, total)
+	for _, ce := range chunkEdges {
+		edges = append(edges, ce...)
+	}
+	return edges, nil
+}
+
+// scanRange scans one contiguous run of source nodes, returning the
+// discovered edges.
+func (ix *matchIndex[O]) scanRange(a []rdf.NodeID, hooks core.Hooks, sc *matchScratch[O]) ([]BipartiteEdge, error) {
+	var out []BipartiteEdge
 	for _, n := range a {
 		if err := hooks.Err(); err != nil {
 			return nil, err
 		}
-		stamp++
-		objs := dedup(char(n))
+		objs := ix.charA(n)
 		k := len(objs)
 		if k == 0 {
 			continue
@@ -119,37 +279,64 @@ func OverlapMatchHooks[O comparable](a, b []rdf.NodeID, theta float64, char func
 		// Line 11: sort char(n) by ascending frequency in the index
 		// (absent objects have frequency 0); ties broken
 		// deterministically by scan position, via stable sort.
-		sort.SliceStable(objs, func(i, j int) bool {
-			return len(inv[objs[i]]) < len(inv[objs[j]])
+		sc.byFreq = append(sc.byFreq[:0], objs...)
+		byFreq := sc.byFreq
+		sort.SliceStable(byFreq, func(i, j int) bool {
+			return len(ix.inv[byFreq[i]]) < len(ix.inv[byFreq[j]])
 		})
-		prefix := prefixLen(k, theta)
-		var cand []rdf.NodeID
+		sc.sortedA = append(sc.sortedA[:0], objs...)
+		slices.Sort(sc.sortedA)
+		prefix := prefixLen(k, ix.theta)
+		sc.stamp++
+		cand := sc.cand[:0]
 		for i := 0; i < prefix; i++ {
-			for _, m := range inv[objs[i]] {
-				if seen[m] != stamp {
-					seen[m] = stamp
+			for _, m := range ix.inv[byFreq[i]] {
+				if sc.seen[m] != sc.stamp {
+					sc.seen[m] = sc.stamp
 					cand = append(cand, m)
 				}
 			}
 		}
+		sc.cand = cand
 		core.SortNodeIDs(cand)
 		// Lines 14–19: overlap screen then distance verification.
-		for _, m := range cand {
-			if Overlap(objs, charB[m]) < theta {
+		for ci, m := range cand {
+			if ci%cancelBatch == cancelBatch-1 {
+				if err := hooks.Err(); err != nil {
+					return nil, err
+				}
+			}
+			sb := ix.sortedB(m)
+			inter := sortedIntersect(sc.sortedA, sb)
+			union := k + len(sb) - inter
+			if float64(inter)/float64(union) < ix.theta {
 				continue
 			}
-			if d, ok := dist(n, m); ok {
-				h.Edges = append(h.Edges, BipartiteEdge{A: n, B: m, D: d})
+			if d, ok := ix.dist(n, m); ok {
+				out = append(out, BipartiteEdge{A: n, B: m, D: d})
 			}
 		}
 	}
-	sort.Slice(h.Edges, func(i, j int) bool {
-		if h.Edges[i].A != h.Edges[j].A {
-			return h.Edges[i].A < h.Edges[j].A
+	return out, nil
+}
+
+// sortedIntersect counts the common elements of two ascending, duplicate-
+// free slices.
+func sortedIntersect[O cmp.Ordered](x, y []O) int {
+	i, j, n := 0, 0, 0
+	for i < len(x) && j < len(y) {
+		switch {
+		case x[i] < y[j]:
+			i++
+		case y[j] < x[i]:
+			j++
+		default:
+			n++
+			i++
+			j++
 		}
-		return h.Edges[i].B < h.Edges[j].B
-	})
-	return h, nil
+	}
+	return n
 }
 
 // prefixLen computes the number of least-frequent characterising objects to
