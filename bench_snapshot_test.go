@@ -1,0 +1,106 @@
+package rdfalign
+
+// Snapshot benchmarks: loading the million-triple corpus from the binary
+// snapshot format versus parsing it. BenchmarkSnapshotLoad is the headline
+// number the roadmap gates on — the snapshot reader restores the term
+// dictionary, triple columns and both adjacency CSRs without rebuilding
+// anything, so the load must beat the parallel parse by ≥5×. Regenerate
+// the BENCH_refine.json entries with:
+//
+//	go test -run '^$' -bench Snapshot -benchtime=3x -count=6 .
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+var (
+	snapCorpusOnce  sync.Once
+	snapCorpus      []byte
+	snapCorpusGraph *Graph
+)
+
+// snapshotCorpus serialises the shared 1M-triple parse corpus once,
+// returning the snapshot bytes and the graph they encode.
+func snapshotCorpus(b *testing.B) ([]byte, *Graph) {
+	b.Helper()
+	snapCorpusOnce.Do(func() {
+		g, err := ParseNTriplesString(corpus(), "bench", WithParseWorkers(8))
+		if err != nil {
+			panic(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteGraphSnapshot(&buf, g); err != nil {
+			panic(err)
+		}
+		snapCorpus = buf.Bytes()
+		snapCorpusGraph = g
+	})
+	return snapCorpus, snapCorpusGraph
+}
+
+// BenchmarkSnapshotLoad measures ReadGraphSnapshot on the 1M-triple
+// corpus. Compare against BenchmarkParseNTriples/par8 on the same data:
+// the gate requires load ≥5× faster than the parallel parse.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	blob, g := snapshotCorpus(b)
+	b.SetBytes(int64(len(blob)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loaded, err := ReadGraphSnapshot(bytes.NewReader(blob))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if loaded.NumTriples() != g.NumTriples() {
+			b.Fatalf("loaded %d triples, want %d", loaded.NumTriples(), g.NumTriples())
+		}
+	}
+}
+
+// BenchmarkSnapshotWrite measures serialising the parsed corpus.
+func BenchmarkSnapshotWrite(b *testing.B) {
+	_, g := snapshotCorpus(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteGraphSnapshot(&buf, g); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.SetBytes(int64(buf.Len()))
+		}
+	}
+}
+
+// TestSnapshotLoadFasterThanParse is the ≥5× acceptance check in test
+// form (single-shot, generous threshold handling is left to the benchmark
+// gate; here we only pin the round trip on the big corpus).
+func TestSnapshotCorpusRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-triple corpus")
+	}
+	g, err := ParseNTriplesString(corpus(), "bench", WithParseWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGraphSnapshot(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadGraphSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumNodes() != g.NumNodes() || loaded.NumTriples() != g.NumTriples() {
+		t.Fatalf("round trip changed shape: %d/%d nodes, %d/%d triples",
+			g.NumNodes(), loaded.NumNodes(), g.NumTriples(), loaded.NumTriples())
+	}
+	for i, tr := range g.Triples() {
+		if tr != loaded.Triples()[i] {
+			t.Fatalf("triple %d changed", i)
+		}
+	}
+}

@@ -12,6 +12,11 @@
 // with O(1) memory:
 //
 //	datagen -dataset bench -triples 1000000 -versions 2 -out /tmp/bench
+//
+// With -format snap, versions are written as binary snapshots (v1.snap …)
+// that cmd/rdfalign loads without parsing; the bench dataset additionally
+// keeps the streamed v<N>.nt files so parse and load benchmarks share a
+// corpus.
 package main
 
 import (
@@ -31,11 +36,11 @@ func main() {
 	versions := flag.Int("versions", 0, "number of versions (0 = dataset default)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	out := flag.String("out", ".", "output directory")
-	format := flag.String("format", "nt", "output format: nt (N-Triples) or ttl (Turtle)")
+	format := flag.String("format", "nt", "output format: nt (N-Triples), ttl (Turtle) or snap (binary snapshot)")
 	triples := flag.Int("triples", 1_000_000, "bench dataset: target triples for version 1")
 	flag.Parse()
-	if *format != "nt" && *format != "ttl" {
-		fatal(fmt.Errorf("unknown format %q (nt, ttl)", *format))
+	if *format != "nt" && *format != "ttl" && *format != "snap" {
+		fatal(fmt.Errorf("unknown format %q (nt, ttl, snap)", *format))
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -43,8 +48,8 @@ func main() {
 	}
 
 	if *ds == "bench" {
-		if *format != "nt" {
-			fatal(fmt.Errorf("the bench dataset streams N-Triples only"))
+		if *format == "ttl" {
+			fatal(fmt.Errorf("the bench dataset streams N-Triples (or snapshots) only"))
 		}
 		n := *versions
 		if n <= 0 {
@@ -59,6 +64,13 @@ func main() {
 				fatal(err)
 			}
 			fmt.Printf("wrote %s: %d triples (streamed)\n", path, count)
+			if *format == "snap" {
+				snapPath := filepath.Join(*out, fmt.Sprintf("v%d.snap", v))
+				if err := snapshotFromNT(path, snapPath); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("wrote %s (snapshot)\n", snapPath)
+			}
 		}
 		return
 	}
@@ -110,6 +122,9 @@ func main() {
 }
 
 func writeGraph(path string, g *rdfalign.Graph, format string) error {
+	if format == "snap" {
+		return rdfalign.WriteGraphSnapshotFile(path, g)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -127,6 +142,21 @@ func writeGraph(path string, g *rdfalign.Graph, format string) error {
 		return err
 	}
 	return w.Flush()
+}
+
+// snapshotFromNT parses a streamed N-Triples file with the parallel
+// pipeline and writes it back as a binary snapshot.
+func snapshotFromNT(ntPath, snapPath string) error {
+	f, err := os.Open(ntPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	g, err := rdfalign.ParseNTriples(f, filepath.Base(ntPath), rdfalign.WithParseWorkers(-1))
+	if err != nil {
+		return err
+	}
+	return rdfalign.WriteGraphSnapshotFile(snapPath, g)
 }
 
 // streamVersion streams one bench-dataset version straight to disk.

@@ -1,0 +1,134 @@
+package rdf
+
+import "fmt"
+
+// Raw exposes the frozen internal columns of a Graph, so a serialiser
+// (internal/snapshot) can persist them directly and a deserialiser can
+// reconstruct the Graph without re-sorting triples or rebuilding the
+// adjacency indexes. The columns obey the freeze invariants:
+//
+//   - Triples is sorted strictly ascending by (S, P, O) (deduplicated),
+//   - OutIndex is the CSR index of the out-adjacency: node n's out edges
+//     are triples OutIndex[n]..OutIndex[n+1], which — because triples are
+//     sorted by subject — are exactly its triples' (P, O) halves,
+//   - DepIndex/DepNodes is the reverse-dependency CSR of Dependents:
+//     each run is strictly ascending.
+//
+// DepIndex/DepNodes may both be nil, in which case the reconstructed
+// graph builds them lazily on first use, exactly like a parsed graph.
+type Raw struct {
+	Name     string
+	Labels   []Label
+	Triples  []Triple
+	OutIndex []int32
+	DepIndex []int32
+	DepNodes []NodeID
+}
+
+// Raw returns the graph's internal columns. It forces the lazy
+// reverse-dependency CSR so Dependents can be persisted; the other lazy
+// adjacencies (In, PredOcc) are derivable in one linear pass and are not
+// exposed. The slices alias the graph's storage and must not be modified.
+func (g *Graph) Raw() Raw {
+	g.depOnce.Do(g.buildDependents)
+	return Raw{
+		Name:     g.name,
+		Labels:   g.labels,
+		Triples:  g.triples,
+		OutIndex: g.outIndex,
+		DepIndex: g.depIndex,
+		DepNodes: g.depNodes,
+	}
+}
+
+// FromRaw reconstructs a Graph from frozen columns without re-sorting or
+// re-indexing: the only per-element work is validating the freeze
+// invariants (so corrupt input yields an error here rather than a panic
+// in an algorithm later) and one linear copy materialising the out-edge
+// (P, O) column. It does not re-check the RDF label-uniqueness conditions
+// of Validate — the columns are trusted to come from a graph that was
+// validated when it was built; structural soundness (IDs in range, sorted
+// adjacency) is what the algorithms rely on for memory safety, and that
+// is re-checked here.
+func FromRaw(r Raw) (*Graph, error) {
+	n := len(r.Labels)
+	if n > 1<<31-2 {
+		return nil, fmt.Errorf("rdf: raw graph has %d nodes, exceeding the NodeID range", n)
+	}
+	prev := Triple{S: -1}
+	for i, t := range r.Triples {
+		if t.S < 0 || int(t.S) >= n || t.P < 0 || int(t.P) >= n || t.O < 0 || int(t.O) >= n {
+			return nil, fmt.Errorf("rdf: raw triple %d (%d,%d,%d) references a node outside [0,%d)", i, t.S, t.P, t.O, n)
+		}
+		if t.S < prev.S || (t.S == prev.S && (t.P < prev.P || (t.P == prev.P && t.O <= prev.O))) {
+			return nil, fmt.Errorf("rdf: raw triple %d (%d,%d,%d) out of (S,P,O) order after (%d,%d,%d)", i, t.S, t.P, t.O, prev.S, prev.P, prev.O)
+		}
+		prev = t
+	}
+	if len(r.OutIndex) != n+1 {
+		return nil, fmt.Errorf("rdf: raw out index has %d entries for %d nodes", len(r.OutIndex), n)
+	}
+	if r.OutIndex[0] != 0 || int(r.OutIndex[n]) != len(r.Triples) {
+		return nil, fmt.Errorf("rdf: raw out index spans [%d,%d], want [0,%d]", r.OutIndex[0], r.OutIndex[n], len(r.Triples))
+	}
+	for i := 0; i < n; i++ {
+		if r.OutIndex[i+1] < r.OutIndex[i] {
+			return nil, fmt.Errorf("rdf: raw out index decreases at node %d", i)
+		}
+	}
+	g := &Graph{name: r.Name, labels: r.Labels, triples: r.Triples, outIndex: r.OutIndex}
+	g.outEdges = make([]Edge, len(r.Triples))
+	for i, t := range r.Triples {
+		// Triples are sorted by subject, so the out-edge column is the
+		// (P, O) projection of the triple list; verify the index agrees.
+		if int32(i) < r.OutIndex[t.S] || int32(i) >= r.OutIndex[t.S+1] {
+			return nil, fmt.Errorf("rdf: raw out index run for node %d excludes its triple %d", t.S, i)
+		}
+		g.outEdges[i] = Edge{P: t.P, O: t.O}
+	}
+	for _, l := range r.Labels {
+		switch l.Kind {
+		case Blank:
+			g.blanks++
+		case Literal:
+			g.lits++
+		case URI:
+		default:
+			return nil, fmt.Errorf("rdf: raw label kind %d unknown", l.Kind)
+		}
+	}
+	if r.DepIndex != nil || r.DepNodes != nil {
+		if err := validateCSR("dependency", r.DepIndex, r.DepNodes, n); err != nil {
+			return nil, err
+		}
+		g.depIndex = r.DepIndex
+		g.depNodes = r.DepNodes
+		g.depOnce.Do(func() {}) // mark built: Dependents serves the loaded CSR
+	}
+	return g, nil
+}
+
+// validateCSR checks the structural invariants the engines rely on: a
+// monotone index covering nodes exactly, and strictly ascending in-range
+// runs.
+func validateCSR(what string, index []int32, nodes []NodeID, n int) error {
+	if len(index) != n+1 {
+		return fmt.Errorf("rdf: raw %s index has %d entries for %d nodes", what, len(index), n)
+	}
+	if index[0] != 0 || int(index[n]) != len(nodes) {
+		return fmt.Errorf("rdf: raw %s index spans [%d,%d], want [0,%d]", what, index[0], index[n], len(nodes))
+	}
+	for i := 0; i < n; i++ {
+		if index[i+1] < index[i] {
+			return fmt.Errorf("rdf: raw %s index decreases at node %d", what, i)
+		}
+		prev := NodeID(-1)
+		for _, m := range nodes[index[i]:index[i+1]] {
+			if m <= prev || int(m) >= n {
+				return fmt.Errorf("rdf: raw %s run for node %d not strictly ascending in range", what, i)
+			}
+			prev = m
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"rdfalign/internal/rdf"
+)
+
+// fuzzSeedDocs are small N-Triples documents whose snapshots seed the
+// fuzzer with structurally valid inputs to mutate.
+var fuzzSeedDocs = []string{
+	"",
+	"<s> <p> <o> .\n",
+	"<http://example.org/s> <http://example.org/p> \"v\" .\n_:b <http://example.org/p> <http://example.org/s> .\n",
+	"_:x <p> _:y .\n_:y <q> _:x .\n",
+	"<s> <p> \"raw\xffbyte\" .\n",
+}
+
+func seedSnapshots(tb testing.TB) [][]byte {
+	tb.Helper()
+	var seeds [][]byte
+	for i, doc := range fuzzSeedDocs {
+		g, err := rdf.ParseNTriplesString(doc, "seed")
+		if err != nil {
+			tb.Fatalf("seed doc %d: %v", i, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteGraph(&buf, g); err != nil {
+			tb.Fatalf("seed doc %d: %v", i, err)
+		}
+		seeds = append(seeds, buf.Bytes())
+	}
+	return seeds
+}
+
+// FuzzReadGraph is the adversarial-input wall around the snapshot reader:
+// whatever bytes arrive, ReadGraph must return (never panic), must not
+// allocate proportionally to unchecked length claims, and must classify
+// every failure as ErrCorrupt with a byte offset. When a mutated input
+// happens to parse, the loaded graph must itself survive a write/read
+// round trip to the identical graph.
+func FuzzReadGraph(f *testing.F) {
+	for _, blob := range seedSnapshots(f) {
+		f.Add(blob)
+		// Hand-broken variants: truncation, CRC damage, absurd section
+		// length, corrupted trailer.
+		if len(blob) > trailerSize {
+			f.Add(blob[:len(blob)/2])
+			f.Add(blob[:len(blob)-trailerSize])
+			flip := bytes.Clone(blob)
+			flip[len(flip)/3] ^= 0x55
+			f.Add(flip)
+			huge := bytes.Clone(blob)
+			for i := 0; i < 8 && headerSize+4+i < len(huge); i++ {
+				huge[headerSize+4+i] = 0xFF
+			}
+			f.Add(huge)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadGraph(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("failure does not wrap ErrCorrupt: %v", err)
+			}
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("failure carries no *CorruptError: %v", err)
+			}
+			if ce.Offset < 0 || ce.Offset > int64(len(data)+trailerSize) {
+				t.Fatalf("implausible corruption offset %d for %d input bytes", ce.Offset, len(data))
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteGraph(&buf, g); err != nil {
+			t.Fatalf("re-serialising an accepted graph: %v", err)
+		}
+		g2, err := ReadGraph(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading a re-serialised graph: %v", err)
+		}
+		if g.NumNodes() != g2.NumNodes() || g.NumTriples() != g2.NumTriples() ||
+			g.Name() != g2.Name() {
+			t.Fatalf("round trip of an accepted graph changed shape")
+		}
+		for i, tr := range g.Triples() {
+			if tr != g2.Triples()[i] {
+				t.Fatalf("round trip of an accepted graph changed triple %d", i)
+			}
+		}
+		for n := 0; n < g.NumNodes(); n++ {
+			if g.Label(rdf.NodeID(n)) != g2.Label(rdf.NodeID(n)) {
+				t.Fatalf("round trip of an accepted graph changed label %d", n)
+			}
+		}
+	})
+}

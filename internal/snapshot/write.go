@@ -1,0 +1,260 @@
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"rdfalign/internal/archive"
+	"rdfalign/internal/rdf"
+)
+
+// WriteGraph serialises g. The output is deterministic: the same graph
+// produces the same bytes.
+func WriteGraph(w io.Writer, g *rdf.Graph) error {
+	sw, err := newSectionWriter(w)
+	if err != nil {
+		return err
+	}
+	if err := sw.section(secGraph, 0, appendGraphBody(nil, g.Raw())); err != nil {
+		return err
+	}
+	return sw.finish()
+}
+
+// WriteArchive serialises a: the entity/row columns that reconstruct the
+// Archive exactly, plus one materialised graph section per version so a
+// single version loads through the footer without touching the rest of
+// the file.
+func WriteArchive(w io.Writer, a *archive.Archive) error {
+	raw := a.Raw()
+	sw, err := newSectionWriter(w)
+	if err != nil {
+		return err
+	}
+	meta := binary.AppendUvarint(nil, uint64(raw.Versions))
+	meta = binary.AppendUvarint(meta, uint64(len(raw.Labels)))
+	meta = binary.AppendUvarint(meta, uint64(len(raw.Rows)))
+	if err := sw.section(secArchiveMeta, 0, meta); err != nil {
+		return err
+	}
+	if err := sw.section(secArchiveLabels, 0, appendArchiveLabels(nil, raw)); err != nil {
+		return err
+	}
+	if err := sw.section(secArchiveRows, 0, appendArchiveRows(nil, raw)); err != nil {
+		return err
+	}
+	for v := 0; v < raw.Versions; v++ {
+		g, err := a.Snapshot(v)
+		if err != nil {
+			return fmt.Errorf("snapshot: materialising version %d: %w", v, err)
+		}
+		if err := sw.section(secGraph, uint32(v), appendGraphBody(nil, g.Raw())); err != nil {
+			return err
+		}
+	}
+	return sw.finish()
+}
+
+// WriteGraphFile writes a graph snapshot to path.
+func WriteGraphFile(path string, g *rdf.Graph) error {
+	return writeFile(path, func(w io.Writer) error { return WriteGraph(w, g) })
+}
+
+// WriteArchiveFile writes an archive snapshot to path.
+func WriteArchiveFile(path string, a *archive.Archive) error {
+	return writeFile(path, func(w io.Writer) error { return WriteArchive(w, a) })
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	err = write(bw)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// sectionWriter emits the header, CRC-framed sections, the footer table
+// and the trailer, tracking offsets as it goes.
+type sectionWriter struct {
+	w     io.Writer
+	off   int64
+	table []tableEntry
+}
+
+type tableEntry struct {
+	id     uint32
+	index  uint32
+	off    int64 // file offset of the section header
+	length int64 // payload length
+}
+
+func newSectionWriter(w io.Writer) (*sectionWriter, error) {
+	sw := &sectionWriter{w: w}
+	hdr := make([]byte, 0, headerSize)
+	hdr = append(hdr, headerMagic...)
+	hdr = binary.LittleEndian.AppendUint16(hdr, FormatVersion)
+	return sw, sw.write(hdr)
+}
+
+func (sw *sectionWriter) write(b []byte) error {
+	n, err := sw.w.Write(b)
+	sw.off += int64(n)
+	return err
+}
+
+func (sw *sectionWriter) section(id, index uint32, payload []byte) error {
+	sw.table = append(sw.table, tableEntry{id: id, index: index, off: sw.off, length: int64(len(payload))})
+	hdr := binary.LittleEndian.AppendUint32(make([]byte, 0, secHdrSize), id)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(payload)))
+	if err := sw.write(hdr); err != nil {
+		return err
+	}
+	if err := sw.write(payload); err != nil {
+		return err
+	}
+	crc := binary.LittleEndian.AppendUint32(make([]byte, 0, crcSize), crc32.Checksum(payload, crcTable))
+	return sw.write(crc)
+}
+
+func (sw *sectionWriter) finish() error {
+	footerOff := sw.off
+	payload := binary.AppendUvarint(nil, uint64(len(sw.table)))
+	for _, e := range sw.table {
+		payload = binary.AppendUvarint(payload, uint64(e.id))
+		payload = binary.AppendUvarint(payload, uint64(e.index))
+		payload = binary.AppendUvarint(payload, uint64(e.off))
+		payload = binary.AppendUvarint(payload, uint64(e.length))
+	}
+	if err := sw.section(secFooter, 0, payload); err != nil {
+		return err
+	}
+	trailer := binary.LittleEndian.AppendUint64(make([]byte, 0, trailerSize), uint64(footerOff))
+	trailer = append(trailer, trailerMagic...)
+	return sw.write(trailer)
+}
+
+// appendString front-codes nothing: plain uvarint length + bytes, for
+// one-off strings such as the graph name.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// frontCoder shares prefixes between consecutive terms: each term is
+// emitted as uvarint(common prefix with the previous term) +
+// uvarint(suffix length) + suffix bytes — the rdfz varint/prefix-table
+// idiom, applied to a running chain instead of an explicit table so
+// decode needs no table lookups.
+type frontCoder struct{ prev string }
+
+func (fc *frontCoder) append(buf []byte, s string) []byte {
+	lcp := 0
+	max := len(s)
+	if len(fc.prev) < max {
+		max = len(fc.prev)
+	}
+	for lcp < max && s[lcp] == fc.prev[lcp] {
+		lcp++
+	}
+	buf = binary.AppendUvarint(buf, uint64(lcp))
+	buf = binary.AppendUvarint(buf, uint64(len(s)-lcp))
+	buf = append(buf, s[lcp:]...)
+	fc.prev = s
+	return buf
+}
+
+// appendGraphBody encodes the frozen graph columns (see the package
+// comment for the layout).
+func appendGraphBody(buf []byte, raw rdf.Raw) []byte {
+	buf = appendString(buf, raw.Name)
+	buf = binary.AppendUvarint(buf, uint64(len(raw.Labels)))
+	buf = binary.AppendUvarint(buf, uint64(len(raw.Triples)))
+	var fc frontCoder
+	for _, l := range raw.Labels {
+		buf = append(buf, byte(l.Kind))
+		if l.Kind != rdf.Blank {
+			buf = fc.append(buf, l.Value)
+		}
+	}
+	prev := rdf.Triple{}
+	for _, t := range raw.Triples {
+		buf = binary.AppendUvarint(buf, uint64(t.S-prev.S))
+		prev.S = t.S
+	}
+	for _, t := range raw.Triples {
+		buf = binary.AppendVarint(buf, int64(t.P-prev.P))
+		prev.P = t.P
+	}
+	for _, t := range raw.Triples {
+		buf = binary.AppendVarint(buf, int64(t.O-prev.O))
+		prev.O = t.O
+	}
+	for n := 0; n < len(raw.Labels); n++ {
+		buf = binary.AppendUvarint(buf, uint64(raw.OutIndex[n+1]-raw.OutIndex[n]))
+	}
+	for n := 0; n < len(raw.Labels); n++ {
+		buf = binary.AppendUvarint(buf, uint64(raw.DepIndex[n+1]-raw.DepIndex[n]))
+	}
+	for n := 0; n < len(raw.Labels); n++ {
+		prevNode := rdf.NodeID(-1)
+		for _, m := range raw.DepNodes[raw.DepIndex[n]:raw.DepIndex[n+1]] {
+			buf = binary.AppendUvarint(buf, uint64(m-prevNode))
+			prevNode = m
+		}
+	}
+	return buf
+}
+
+// appendArchiveLabels encodes the per-entity label runs: per entity a run
+// count, per run a kind byte (+ front-coded value for URIs/literals, one
+// chain across the whole section) and the interval as uvarint(gap from
+// the previous run's To) + uvarint(length-1).
+func appendArchiveLabels(buf []byte, raw archive.Raw) []byte {
+	var fc frontCoder
+	for _, runs := range raw.Labels {
+		buf = binary.AppendUvarint(buf, uint64(len(runs)))
+		prevTo := -1
+		for _, run := range runs {
+			buf = append(buf, byte(run.Label.Kind))
+			if run.Label.Kind != rdf.Blank {
+				buf = fc.append(buf, run.Label.Value)
+			}
+			buf = binary.AppendUvarint(buf, uint64(run.Interval.From-prevTo-1))
+			buf = binary.AppendUvarint(buf, uint64(run.Interval.To-run.Interval.From))
+			prevTo = run.Interval.To
+		}
+	}
+	return buf
+}
+
+// appendArchiveRows encodes the (S, P, O)-sorted triple rows as three
+// delta columns interleaved per row, followed by each row's intervals.
+func appendArchiveRows(buf []byte, raw archive.Raw) []byte {
+	var prevS, prevP, prevO archive.EntityID
+	for _, row := range raw.Rows {
+		buf = binary.AppendUvarint(buf, uint64(row.S-prevS))
+		buf = binary.AppendVarint(buf, int64(row.P-prevP))
+		buf = binary.AppendVarint(buf, int64(row.O-prevO))
+		prevS, prevP, prevO = row.S, row.P, row.O
+		buf = binary.AppendUvarint(buf, uint64(len(row.Intervals)))
+		prevTo := -1
+		for _, iv := range row.Intervals {
+			buf = binary.AppendUvarint(buf, uint64(iv.From-prevTo-1))
+			buf = binary.AppendUvarint(buf, uint64(iv.To-iv.From))
+			prevTo = iv.To
+		}
+	}
+	return buf
+}

@@ -1,0 +1,96 @@
+package rdfalign
+
+import (
+	"io"
+
+	"rdfalign/internal/snapshot"
+)
+
+// Binary snapshots (internal/snapshot): a versioned, columnar on-disk
+// format for graphs and archives whose load time is dominated by file
+// reads instead of parsing — the triple columns, term dictionary and both
+// adjacency CSRs are serialised in their frozen in-memory form. See the
+// internal/snapshot package comment for the layout and the compatibility
+// policy.
+type (
+	// SnapshotInfo is the inspection summary of a snapshot file.
+	SnapshotInfo = snapshot.Info
+	// SnapshotCorruptError reports a corrupt or truncated snapshot with
+	// the byte offset at which reading failed.
+	SnapshotCorruptError = snapshot.CorruptError
+)
+
+// ErrSnapshotCorrupt is the sentinel wrapped by every snapshot read
+// failure: errors.Is(err, ErrSnapshotCorrupt) distinguishes a damaged
+// file from an I/O error opening it.
+var ErrSnapshotCorrupt = snapshot.ErrCorrupt
+
+// WriteGraphSnapshot serialises g as a binary snapshot. Deterministic:
+// the same graph produces the same bytes.
+func WriteGraphSnapshot(w io.Writer, g *Graph) error {
+	return snapshot.WriteGraph(w, g)
+}
+
+// ReadGraphSnapshot loads a graph snapshot. The loaded graph is node-ID-
+// and triple-identical to the one written, with the out-adjacency and the
+// Dependents reverse-dependency index restored without a rebuild.
+func ReadGraphSnapshot(r io.Reader) (*Graph, error) {
+	return snapshot.ReadGraph(r)
+}
+
+// WriteGraphSnapshotFile writes a graph snapshot to path.
+func WriteGraphSnapshotFile(path string, g *Graph) error {
+	return snapshot.WriteGraphFile(path, g)
+}
+
+// ReadGraphSnapshotFile reads a graph snapshot from path.
+func ReadGraphSnapshotFile(path string) (*Graph, error) {
+	return snapshot.ReadGraphFile(path)
+}
+
+// WriteArchiveSnapshot serialises an archive: its entity/row columns plus
+// one materialised graph section per version, seekable through the file
+// footer.
+func WriteArchiveSnapshot(w io.Writer, a *Archive) error {
+	return snapshot.WriteArchive(w, a)
+}
+
+// WriteArchiveSnapshotFile writes an archive snapshot to path.
+func WriteArchiveSnapshotFile(path string, a *Archive) error {
+	return snapshot.WriteArchiveFile(path, a)
+}
+
+// ReadArchiveSnapshot reconstructs the archive from a snapshot. The
+// result is lossless: rows, intervals, entity labels and statistics all
+// equal the freshly built archive's.
+func ReadArchiveSnapshot(r io.ReaderAt, size int64) (*Archive, error) {
+	return snapshot.ReadArchive(r, size)
+}
+
+// ReadArchiveSnapshotFile reads an archive snapshot from path.
+func ReadArchiveSnapshotFile(path string) (*Archive, error) {
+	return snapshot.ReadArchiveFile(path)
+}
+
+// ReadArchiveSnapshotVersion loads the materialised graph of one version
+// (0-based) from an archive snapshot, reading only the header, footer and
+// that version's section.
+func ReadArchiveSnapshotVersion(r io.ReaderAt, size int64, v int) (*Graph, error) {
+	return snapshot.ReadArchiveVersion(r, size, v)
+}
+
+// ReadArchiveSnapshotVersionFile loads one materialised version from an
+// archive snapshot file.
+func ReadArchiveSnapshotVersionFile(path string, v int) (*Graph, error) {
+	return snapshot.ReadArchiveVersionFile(path, v)
+}
+
+// ReadSnapshotInfo inspects a snapshot, verifying every section CRC.
+func ReadSnapshotInfo(r io.ReaderAt, size int64) (*SnapshotInfo, error) {
+	return snapshot.ReadInfo(r, size)
+}
+
+// ReadSnapshotInfoFile inspects the snapshot file at path.
+func ReadSnapshotInfoFile(path string) (*SnapshotInfo, error) {
+	return snapshot.ReadInfoFile(path)
+}
