@@ -189,6 +189,11 @@ func (al *Aligner) engine(ctx context.Context) *core.Engine {
 // refinement, overlap enrich/propagate rounds, σEdit propagation); on
 // cancellation Align promptly returns ctx.Err(). A nil ctx is treated as
 // context.Background().
+//
+// The returned Alignment carries the session state of the pair — the color
+// interner, the maintained colorings and the overlap matcher caches — which
+// ApplyDelta resumes from to maintain the alignment under target-graph
+// edits at a cost proportional to the change (see session.go).
 func (al *Aligner) Align(ctx context.Context, g1, g2 *Graph) (*Alignment, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -199,27 +204,62 @@ func (al *Aligner) Align(ctx context.Context, g1, g2 *Graph) (*Alignment, error)
 	eng := al.engine(ctx)
 	c := rdf.Union(g1, g2)
 	in := core.NewInterner()
-	a := &Alignment{Method: al.cfg.method, Theta: al.cfg.theta, c: c}
+	st := &alignState{al: al, shared: &sessionShared{in: in}, c: c}
+	a := &Alignment{Method: al.cfg.method, Theta: al.cfg.theta, c: c, state: st}
+	if al.cfg.method == Trivial {
+		p := core.TrivialPartition(c.Graph, in)
+		st.trivial = p.Colors()
+		a.part = p
+		a.rel = newPartitionRelation(c, p, core.NewAlignment(c, p))
+		return a, nil
+	}
+	deblank, itDeblank, err := eng.DeblankFrom(c.Graph, al.basePartition(st, c, in))
+	if err != nil {
+		return nil, err
+	}
+	st.deblank = deblank
+	return al.finishFromDeblank(eng, a, deblank, itDeblank, nil)
+}
+
+// basePartition builds the label partition ℓ of the combined graph and
+// records its colors in the session state, where ApplyDelta extends them in
+// O(appended nodes) instead of rebuilding the label maps.
+func (al *Aligner) basePartition(st *alignState, c *rdf.Combined, in *core.Interner) *core.Partition {
+	p := core.LabelPartition(c.Graph, in)
+	st.base = p.Colors()
+	return p
+}
+
+// finishFromDeblank runs the method pipeline from a freshly computed (or
+// maintained) deblank partition down to the final relation — the tail
+// shared by Align and ApplyDelta. invalidate lists the combined-graph nodes
+// whose outbound edge set changed since the previous call (nil on a fresh
+// alignment); the overlap matcher drops their cached characterisations.
+func (al *Aligner) finishFromDeblank(eng *core.Engine, a *Alignment, deblank *core.Partition, itDeblank int, invalidate []rdf.NodeID) (*Alignment, error) {
+	c := a.c
 	var err error
 	switch al.cfg.method {
-	case Trivial:
-		a.part = core.TrivialPartition(c.Graph, in)
 	case Deblank:
-		a.part, a.refineIterations, err = eng.Deblank(c.Graph, in)
+		a.part = deblank
+		a.refineIterations = itDeblank
 	case Hybrid:
-		a.part, a.refineIterations, err = eng.Hybrid(c, in)
+		a.part, a.refineIterations, err = eng.HybridFromDeblank(c, deblank)
+		a.refineIterations += itDeblank
 	case Overlap:
 		var hybrid *core.Partition
-		hybrid, a.refineIterations, err = eng.Hybrid(c, in)
+		hybrid, a.refineIterations, err = eng.HybridFromDeblank(c, deblank)
 		if err != nil {
 			break
 		}
+		a.refineIterations += itDeblank
 		var res *similarity.OverlapResult
 		res, err = similarity.OverlapAlign(c, hybrid, similarity.OverlapOptions{
-			Theta:   al.cfg.theta,
-			Epsilon: al.cfg.epsilon,
-			Hooks:   eng.Hooks,
-			Workers: al.cfg.workers,
+			Theta:      al.cfg.theta,
+			Epsilon:    al.cfg.epsilon,
+			Hooks:      eng.Hooks,
+			Workers:    al.cfg.workers,
+			State:      &a.state.shared.overlap,
+			Invalidate: invalidate,
 		})
 		if err != nil {
 			break
@@ -229,10 +269,11 @@ func (al *Aligner) Align(ctx context.Context, g1, g2 *Graph) (*Alignment, error)
 		a.rel = newPartitionRelation(c, a.part, res.Alignment(c))
 	case SigmaEdit:
 		var hybrid *core.Partition
-		hybrid, a.refineIterations, err = eng.Hybrid(c, in)
+		hybrid, a.refineIterations, err = eng.HybridFromDeblank(c, deblank)
 		if err != nil {
 			break
 		}
+		a.refineIterations += itDeblank
 		a.part = hybrid
 		var s *similarity.SigmaEdit
 		s, err = similarity.NewSigmaEdit(c, hybrid, similarity.SigmaEditOptions{

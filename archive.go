@@ -44,7 +44,11 @@ func (al *Aligner) BuildArchive(ctx context.Context, graphs []*Graph) (*Archive,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return archive.Build(graphs, ArchiveOptions{
+	return archive.Build(graphs, al.archiveOptions(ctx))
+}
+
+func (al *Aligner) archiveOptions(ctx context.Context) ArchiveOptions {
+	return ArchiveOptions{
 		UseOverlap:       al.cfg.method == Overlap,
 		ResolveAmbiguous: al.cfg.resolveAmbiguous,
 		Theta:            al.cfg.theta,
@@ -52,5 +56,23 @@ func (al *Aligner) BuildArchive(ctx context.Context, graphs []*Graph) (*Archive,
 		Refine:           al.refineOptions(),
 		Workers:          al.cfg.workers,
 		Hooks:            al.hooks(ctx),
-	})
+	}
+}
+
+// AppendVersion extends an archive built by this session with one more
+// version: either the graph g, or — when g is nil — the newest archived
+// version edited by the script. Only the new consecutive pair is aligned, so
+// the cost is one alignment regardless of the archive's length, and the
+// result is identical to rebuilding the archive over the extended history.
+// On any error (a script that does not apply, cancellation) the archive is
+// unchanged. The session's options must match the ones the archive was
+// built with; see archive.Archive.AppendVersion.
+func (al *Aligner) AppendVersion(ctx context.Context, a *Archive, g *Graph, s *EditScript) (*Graph, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return a.AppendVersion(g, s, al.archiveOptions(ctx))
 }

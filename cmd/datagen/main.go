@@ -13,6 +13,12 @@
 //
 //	datagen -dataset bench -triples 1000000 -versions 2 -out /tmp/bench
 //
+// With -emit-delta, the bench dataset also writes the edit script between
+// each pair of consecutive versions (delta-v1-v2.delta, …) in the
+// canonical "- / +" text form that rdfalign -apply-delta and
+// rdfalign.ParseEditScript consume — the maintenance benchmarks and the CI
+// apply-delta smoke test feed on exactly these files.
+//
 // With -format snap, versions are written as binary snapshots (v1.snap …)
 // that cmd/rdfalign loads without parsing; the bench dataset additionally
 // keeps the streamed v<N>.nt files so parse and load benchmarks share a
@@ -38,6 +44,7 @@ func main() {
 	out := flag.String("out", ".", "output directory")
 	format := flag.String("format", "nt", "output format: nt (N-Triples), ttl (Turtle) or snap (binary snapshot)")
 	triples := flag.Int("triples", 1_000_000, "bench dataset: target triples for version 1")
+	emitDelta := flag.Bool("emit-delta", false, "bench dataset: also write the edit script between consecutive versions as delta-v<N>-v<N+1>.delta")
 	flag.Parse()
 	if *format != "nt" && *format != "ttl" && *format != "snap" {
 		fatal(fmt.Errorf("unknown format %q (nt, ttl, snap)", *format))
@@ -71,8 +78,21 @@ func main() {
 				}
 				fmt.Printf("wrote %s (snapshot)\n", snapPath)
 			}
+			if *emitDelta && v < n {
+				deltaPath := filepath.Join(*out, fmt.Sprintf("delta-v%d-v%d.delta", v, v+1))
+				dels, ins, err := streamDelta(deltaPath, rdfalign.StreamConfig{
+					Triples: *triples, Version: v, Seed: *seed,
+				})
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf("wrote %s: %d deletions, %d insertions\n", deltaPath, dels, ins)
+			}
 		}
 		return
+	}
+	if *emitDelta {
+		fatal(fmt.Errorf("-emit-delta is only defined for the bench dataset"))
 	}
 
 	var graphs []*rdfalign.Graph
@@ -171,6 +191,19 @@ func streamVersion(path string, cfg rdfalign.StreamConfig) (int, error) {
 		err = cerr
 	}
 	return n, err
+}
+
+// streamDelta writes the edit script between cfg.Version and cfg.Version+1.
+func streamDelta(path string, cfg rdfalign.StreamConfig) (dels, ins int, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	dels, ins, err = rdfalign.StreamDelta(f, cfg)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return dels, ins, err
 }
 
 func writeTruth(path string, tr *rdfalign.GroundTruth, src *rdfalign.Graph) error {

@@ -54,6 +54,15 @@ func StreamNTriples(w io.Writer, cfg StreamConfig) (int, error) {
 	return dataset.StreamNTriples(w, cfg)
 }
 
+// StreamDelta writes the canonical edit script (see EditScript) that
+// transforms version cfg.Version of the streaming benchmark dataset into
+// version cfg.Version+1. The script parses back with ParseEditScript and
+// applies cleanly under ApplyDelta's strict semantics. It returns the
+// deletion and insertion counts.
+func StreamDelta(w io.Writer, cfg StreamConfig) (dels, ins int, err error) {
+	return dataset.StreamDelta(w, cfg)
+}
+
 // NewGroundTruth returns an empty ground truth; add pairs with Add.
 func NewGroundTruth() *GroundTruth { return truth.New() }
 

@@ -1,8 +1,39 @@
 package rdfalign
 
 import (
+	"io"
+
 	"rdfalign/internal/delta"
+	"rdfalign/internal/rdf"
 )
+
+// EditScript is an ordered list of triple insertions and deletions against
+// a single graph — the input of ApplyDelta. Scripts have a canonical text
+// form (one "+ "/"- " N-Triples line per operation) produced by Format and
+// read back by the parsers; see internal/delta for the grammar and the
+// strict application semantics (inserting a present triple or deleting an
+// absent one is an error).
+type EditScript = delta.Script
+
+// ParseEditScript reads an edit script from its text form. Errors carry
+// exact line and column positions.
+func ParseEditScript(r io.Reader) (*EditScript, error) { return delta.Parse(r) }
+
+// ParseEditScriptString parses an in-memory edit script.
+func ParseEditScriptString(src string) (*EditScript, error) { return delta.ParseString(src) }
+
+// ApplyEditScript applies an edit script to a graph and returns the edited
+// graph, without any session machinery: the one-shot counterpart of
+// ApplyDelta, useful for producing the post-edit graph of a from-scratch
+// comparison run. Node IDs of g are preserved; labels introduced by the
+// script are appended.
+func ApplyEditScript(g *Graph, s *EditScript) (*Graph, error) {
+	res, err := rdf.NewEditor(g).Apply(s.Ops)
+	if err != nil {
+		return nil, err
+	}
+	return res.Graph, nil
+}
 
 // Delta is a change description between two versions derived from an
 // alignment (the paper's related work: "constructing an alignment between

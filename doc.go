@@ -61,6 +61,23 @@
 //
 // wrapper remains for callers that need neither cancellation nor progress.
 //
+// # Maintenance
+//
+// An Alignment is the head of a session lineage: when the target graph
+// evolves, Alignment.ApplyDelta applies an EditScript (insert/delete triple
+// lines, parsed by ParseEditScript) to the target and maintains the
+// alignment instead of recomputing it. The session keeps its interner,
+// matcher caches and a transactional editor alive across deltas, splices
+// the post-edit graph's indexes out of the previous version's, and
+// re-refines only the edit's dirty frontier, so a delta costs roughly in
+// proportion to its churn rather than to the graph. The result is
+// bit-identical to a from-scratch Align against ApplyEditScript(g2, s) —
+// property-tested — and transactional: a failed or cancelled ApplyDelta
+// leaves the session untouched, and applying a delta to a superseded
+// Alignment fails with ErrStaleAlignment. Aligner.AppendVersion extends an
+// Archive by one version the same way (one new pair alignment instead of
+// re-aligning the whole history, raw-identical to a full rebuild).
+//
 // # Performance
 //
 // The refinement fixpoints of the paper's default outbound recoloring run

@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"rdfalign/internal/core"
+	"rdfalign/internal/delta"
 	"rdfalign/internal/rdf"
 	"rdfalign/internal/similarity"
 )
@@ -55,6 +56,19 @@ type Archive struct {
 	rowIndex map[[3]EntityID]int
 	// totalTriples is Σ |E_v| over the input versions.
 	totalTriples int
+	// tail is the live construction state AppendVersion extends; nil for
+	// archives loaded from raw columns (FromRaw), which cannot append.
+	tail *archiveTail
+}
+
+// archiveTail is what Build's per-version loop carries from one version to
+// the next: the newest version's graph, its node→entity assignment, and the
+// URI resume map. Keeping it on the finished archive lets AppendVersion add
+// one version by aligning a single pair instead of replaying the history.
+type archiveTail struct {
+	lastGraph *rdf.Graph
+	cur       []EntityID
+	lastSeen  map[string]EntityID
 }
 
 // BuildOptions configures archive construction.
@@ -127,19 +141,116 @@ func Build(graphs []*rdf.Graph, opt BuildOptions) (*Archive, error) {
 			return nil, err
 		}
 		g1, g2 := graphs[v], graphs[v+1]
-		part, c, err := alignPair(g1, g2, opt)
+		next, err := a.appendAligned(g1, g2, v+1, cur, lastSeen, opt)
 		if err != nil {
 			return nil, err
 		}
-		next := make([]EntityID, g2.NumNodes())
-		chainEntities(a, c, part, cur, next, g2, lastSeen, opt.ResolveAmbiguous)
-		a.recordVersion(g2, v+1, next)
-		noteURIs(g2, next, lastSeen)
 		cur = next
 		opt.Hooks.Round(core.StageArchive, v+2, len(graphs))
 	}
+	a.tail = &archiveTail{lastGraph: graphs[len(graphs)-1], cur: cur, lastSeen: lastSeen}
 	a.finalise()
 	return a, nil
+}
+
+// appendAligned aligns the consecutive pair (g1, g2), chains entities across
+// the alignment and records g2 as version v. It is the per-version step
+// shared by Build's loop and AppendVersion. The alignment is the only
+// fallible part and runs before any mutation, so an error leaves the archive
+// exactly as it was.
+func (a *Archive) appendAligned(g1, g2 *rdf.Graph, v int, cur []EntityID,
+	lastSeen map[string]EntityID, opt BuildOptions) ([]EntityID, error) {
+	part, c, err := alignPair(g1, g2, opt)
+	if err != nil {
+		return nil, err
+	}
+	next := make([]EntityID, g2.NumNodes())
+	chainEntities(a, c, part, cur, next, g2, lastSeen, opt.ResolveAmbiguous)
+	a.recordVersion(g2, v, next)
+	noteURIs(g2, next, lastSeen)
+	return next, nil
+}
+
+// AppendVersion extends the archive with one more version. The new version
+// is either g, or — when g is nil — the result of applying the edit script
+// to the newest archived version's graph. Only the new consecutive pair is
+// aligned, so appending costs one alignment regardless of how many versions
+// the archive already holds; a full Build over the extended history produces
+// an identical archive (same rows, labels, stats and snapshots).
+//
+// AppendVersion is transactional: on any error — an edit script that does
+// not apply, or cancellation through opt.Hooks — the archive is unchanged
+// and a later append can retry. Archives loaded from raw columns (FromRaw)
+// carry no construction tail and cannot append; rebuild with Build.
+//
+// opt should be the BuildOptions the archive was built with: chaining
+// decisions depend on them, and mixing options across versions makes the
+// archive equivalent to no single Build call. It returns the appended
+// version's graph (g itself, or the script application result).
+func (a *Archive) AppendVersion(g *rdf.Graph, script *delta.Script, opt BuildOptions) (*rdf.Graph, error) {
+	if a.tail == nil {
+		return nil, fmt.Errorf("archive: archive has no construction tail (loaded from raw columns); rebuild with Build to append")
+	}
+	if opt.Theta == 0 {
+		opt.Theta = similarity.DefaultTheta
+	}
+	if err := opt.Hooks.Err(); err != nil {
+		return nil, err
+	}
+	g2 := g
+	if g2 == nil {
+		if script == nil {
+			return nil, fmt.Errorf("archive: AppendVersion needs a graph or an edit script")
+		}
+		res, err := script.Apply(rdf.NewEditor(a.tail.lastGraph))
+		if err != nil {
+			return nil, fmt.Errorf("archive: append version: %w", err)
+		}
+		g2 = res.Graph
+	}
+	next, err := a.appendAligned(a.tail.lastGraph, g2, a.versions, a.tail.cur, a.tail.lastSeen, opt)
+	if err != nil {
+		return nil, err
+	}
+	a.versions++
+	a.tail.lastGraph = g2
+	a.tail.cur = next
+	a.finalise()
+	opt.Hooks.Round(core.StageArchive, a.versions, a.versions)
+	return g2, nil
+}
+
+// Clone returns a deep copy of the archive, including the construction tail
+// (the newest version's graph is shared — graphs are immutable). Appends to
+// the clone leave the original untouched.
+func (a *Archive) Clone() *Archive {
+	b := &Archive{versions: a.versions, totalTriples: a.totalTriples}
+	b.labels = make([][]labelRun, len(a.labels))
+	for e, runs := range a.labels {
+		b.labels[e] = append([]labelRun(nil), runs...)
+	}
+	b.rows = make([]TripleRow, len(a.rows))
+	for i, r := range a.rows {
+		r.Intervals = append([]Interval(nil), r.Intervals...)
+		b.rows[i] = r
+	}
+	if a.rowIndex != nil {
+		b.rowIndex = make(map[[3]EntityID]int, len(a.rowIndex))
+		for k, v := range a.rowIndex {
+			b.rowIndex[k] = v
+		}
+	}
+	if a.tail != nil {
+		b.tail = &archiveTail{
+			lastGraph: a.tail.lastGraph,
+			cur:       append([]EntityID(nil), a.tail.cur...),
+			lastSeen:  make(map[string]EntityID, len(a.tail.lastSeen)),
+		}
+		for k, v := range a.tail.lastSeen {
+			b.tail.lastSeen[k] = v
+		}
+	}
+	return b
 }
 
 func noteURIs(g *rdf.Graph, entity []EntityID, lastSeen map[string]EntityID) {
@@ -264,7 +375,8 @@ func (a *Archive) recordVersion(g *rdf.Graph, v int, entity []EntityID) {
 	}
 }
 
-// finalise orders rows deterministically.
+// finalise orders rows deterministically and rebuilds the row index over
+// the new positions so a later AppendVersion can extend existing rows.
 func (a *Archive) finalise() {
 	sort.Slice(a.rows, func(i, j int) bool {
 		x, y := a.rows[i], a.rows[j]
@@ -276,7 +388,9 @@ func (a *Archive) finalise() {
 		}
 		return x.O < y.O
 	})
-	a.rowIndex = nil
+	for i, r := range a.rows {
+		a.rowIndex[[3]EntityID{r.S, r.P, r.O}] = i
+	}
 }
 
 // Versions returns the number of archived versions.

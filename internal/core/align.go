@@ -240,14 +240,14 @@ type AlignedNodeStats struct {
 
 // AlignedNodes computes AlignedNodeStats for a partition.
 func AlignedNodes(c *rdf.Combined, p *Partition, onlyURIs bool) AlignedNodeStats {
-	sides := classSides(c, p)
+	sides := newClassSides(c, p)
 	var st AlignedNodeStats
 	for i, col := range p.colors {
 		n := rdf.NodeID(i)
 		if onlyURIs && !c.IsURI(n) {
 			continue
 		}
-		sc := sides[col]
+		sc := sides.at(col)
 		if i < c.N1 {
 			if sc.tgt > 0 {
 				st.Source++

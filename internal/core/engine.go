@@ -63,7 +63,7 @@ func (e *Engine) useOpts() bool { return e.Opt.extended() || e.Opt.Filter != nil
 // options always use it (see Engine.FullRecolor).
 func (e *Engine) Refine(g *rdf.Graph, p *Partition, x []rdf.NodeID) (*Partition, int, error) {
 	if !e.useOpts() && !e.FullRecolor {
-		return e.refineWorklist(g, p, x)
+		return e.refineWorklist(g, p, x, nil)
 	}
 	if e.Workers > 1 && !e.useOpts() && len(x) >= parallelThreshold {
 		return e.refineParallelFull(g, p, x)
@@ -127,6 +127,40 @@ func (e *Engine) refineParallelFull(g *rdf.Graph, p *Partition, x []rdf.NodeID) 
 	}
 }
 
+// RefineChanged is Refine additionally returning the ascending,
+// deduplicated list of nodes whose color the refinement moved — the
+// worklist's per-round applied change lists. The list is a superset of the
+// strict input/output difference (a node that changes and later reverts
+// stays listed) and always a subset of the recolor set, so incremental
+// consumers (the overlap matcher's persistent index) can invalidate exactly
+// the dependents of the listed nodes. With FullRecolor or extended options
+// there are no worklist change lists; the change list is then the exact
+// input/output difference over the recolor set.
+func (e *Engine) RefineChanged(g *rdf.Graph, p *Partition, x []rdf.NodeID) (*Partition, int, []rdf.NodeID, error) {
+	if !e.useOpts() && !e.FullRecolor {
+		tracked := newChangeTracker(p.Len())
+		out, iters, err := e.refineWorklist(g, p, x, tracked)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		return out, iters, tracked.sorted(), nil
+	}
+	out, iters, err := e.Refine(g, p, x)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	seen := make([]bool, p.Len())
+	var changed []rdf.NodeID
+	for _, n := range x {
+		if !seen[n] && out.colors[n] != p.colors[n] {
+			seen[n] = true
+			changed = append(changed, n)
+		}
+	}
+	sortNodeIDs(changed)
+	return out, iters, changed, nil
+}
+
 // Bisim computes λ_Bisim = BisimRefine*_{N_G}(ℓ_G), which by Proposition 1
 // captures the maximal bisimulation on G.
 func (e *Engine) Bisim(g *rdf.Graph, in *Interner) (*Partition, int, error) {
@@ -142,13 +176,22 @@ func (e *Engine) Bisim(g *rdf.Graph, in *Interner) (*Partition, int, error) {
 // each blank node by its contents (the URIs and data values reachable from
 // it).
 func (e *Engine) Deblank(g *rdf.Graph, in *Interner) (*Partition, int, error) {
+	return e.DeblankFrom(g, LabelPartition(g, in))
+}
+
+// DeblankFrom is Deblank over an externally supplied base partition: it
+// refines base on exactly the blank nodes of g. Deblank is DeblankFrom of
+// LabelPartition(g, in); alignment sessions that maintain a label partition
+// across deltas (extending it for appended nodes instead of rebuilding the
+// label maps) seed the fixpoint here.
+func (e *Engine) DeblankFrom(g *rdf.Graph, base *Partition) (*Partition, int, error) {
 	var blanks []rdf.NodeID
 	g.Nodes(func(n rdf.NodeID) {
 		if g.IsBlank(n) {
 			blanks = append(blanks, n)
 		}
 	})
-	return e.Refine(g, LabelPartition(g, in), blanks)
+	return e.Refine(g, base, blanks)
 }
 
 // Hybrid computes λ_Hybrid (§3.4): starting from the deblank partition, the

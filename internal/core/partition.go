@@ -53,6 +53,11 @@ func (p *Partition) Len() int { return len(p.colors) }
 // Color returns λ(n).
 func (p *Partition) Color(n rdf.NodeID) Color { return p.colors[n] }
 
+// Colors returns the underlying color slice, indexed by node ID. The slice
+// is owned by the partition and must not be modified; it lets incremental
+// consumers diff two partitions in O(N) without per-node method calls.
+func (p *Partition) Colors() []Color { return p.colors }
+
 // SetColor recolors a single node. Use on partitions you own.
 func (p *Partition) SetColor(n rdf.NodeID, c Color) { p.colors[n] = c }
 
@@ -159,8 +164,29 @@ type sideCount struct {
 	src, tgt int32
 }
 
-// classSides computes per-color side counts for a combined graph.
-func classSides(c *rdf.Combined, p *Partition) map[Color]sideCount {
+// classSides holds per-color side counts for a combined graph, backed by a
+// dense Color-indexed array when the interner is small enough relative to
+// the node count (colors are dense interner indices) and by a map otherwise
+// (a long-lived session interner can dwarf any one partition's color range).
+// Both backings produce identical lookups.
+type classSides struct {
+	dense  []sideCount
+	sparse map[Color]sideCount
+}
+
+// newClassSides computes per-color side counts for a combined graph.
+func newClassSides(c *rdf.Combined, p *Partition) classSides {
+	if size := p.in.Size(); size <= 8*len(p.colors)+1024 {
+		dense := make([]sideCount, size)
+		for i, col := range p.colors {
+			if i < c.N1 {
+				dense[col].src++
+			} else {
+				dense[col].tgt++
+			}
+		}
+		return classSides{dense: dense}
+	}
 	m := make(map[Color]sideCount, p.NumClasses())
 	for i, col := range p.colors {
 		sc := m[col]
@@ -171,16 +197,24 @@ func classSides(c *rdf.Combined, p *Partition) map[Color]sideCount {
 		}
 		m[col] = sc
 	}
-	return m
+	return classSides{sparse: m}
+}
+
+// at returns the side counts of color col.
+func (cs classSides) at(col Color) sideCount {
+	if cs.dense != nil {
+		return cs.dense[col]
+	}
+	return cs.sparse[col]
 }
 
 // Unaligned returns Unaligned_1(λ) and Unaligned_2(λ) (§3.1): the source
 // nodes whose class has no target member, and vice versa. Both slices are
 // sorted by node ID.
 func Unaligned(c *rdf.Combined, p *Partition) (un1, un2 []rdf.NodeID) {
-	sides := classSides(c, p)
+	sides := newClassSides(c, p)
 	for i, col := range p.colors {
-		sc := sides[col]
+		sc := sides.at(col)
 		if i < c.N1 {
 			if sc.tgt == 0 {
 				un1 = append(un1, rdf.NodeID(i))

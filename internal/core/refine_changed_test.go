@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rdfalign/internal/rdf"
+)
+
+// refineEngines is the engine matrix the incremental-maintenance tests run
+// against: the worklist, the parallel worklist and the full-recolor
+// reference must all agree.
+var refineEngines = []struct {
+	name string
+	eng  *Engine
+}{
+	{"worklist", &Engine{}},
+	{"worklist-par4", &Engine{Workers: 4}},
+	{"full", &Engine{FullRecolor: true}},
+}
+
+// TestRefineChangedSoundAndExact: RefineChanged returns the same partition
+// as Refine bit for bit, and its change list is sound — every node outside
+// it keeps its input color — complete against the strict input/output diff,
+// confined to the recolor set, sorted and duplicate-free.
+func TestRefineChangedSoundAndExact(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, "rc", 3+r.Intn(5), r.Intn(6), 1+r.Intn(3), 5+r.Intn(25))
+		// Recolor set: all blanks plus a random sprinkle of URIs, with a
+		// duplicate thrown in to exercise deduplication.
+		var x []rdf.NodeID
+		g.Nodes(func(n rdf.NodeID) {
+			if g.IsBlank(n) || r.Intn(3) == 0 {
+				x = append(x, n)
+			}
+		})
+		if len(x) > 0 {
+			x = append(x, x[0])
+		}
+		for _, e := range refineEngines {
+			in := NewInterner()
+			base := LabelPartition(g, in)
+			want, wantIters, err := e.eng.Refine(g, base, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in2 := NewInterner()
+			base2 := LabelPartition(g, in2)
+			got, gotIters, changed, err := e.eng.RefineChanged(g, base2, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantIters != gotIters {
+				t.Fatalf("seed %d %s: iters %d, want %d", seed, e.name, gotIters, wantIters)
+			}
+			if !Equivalent(want, got) {
+				t.Fatalf("seed %d %s: RefineChanged partition differs from Refine", seed, e.name)
+			}
+			inX := map[rdf.NodeID]bool{}
+			for _, n := range x {
+				inX[n] = true
+			}
+			inChanged := map[rdf.NodeID]bool{}
+			for i, n := range changed {
+				if i > 0 && changed[i-1] >= n {
+					t.Fatalf("seed %d %s: change list not strictly ascending at %d: %v", seed, e.name, i, changed)
+				}
+				if !inX[n] {
+					t.Fatalf("seed %d %s: changed node %d outside the recolor set", seed, e.name, n)
+				}
+				inChanged[n] = true
+			}
+			for i := 0; i < g.NumNodes(); i++ {
+				n := rdf.NodeID(i)
+				if got.Color(n) != base2.Color(n) && !inChanged[n] {
+					t.Fatalf("seed %d %s: node %d moved but is missing from the change list", seed, e.name, n)
+				}
+			}
+		}
+	}
+}
+
+// TestDeblankFrom: DeblankFrom over LabelPartition is Deblank, color for
+// color, on every engine configuration.
+func TestDeblankFrom(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, "df", 3+r.Intn(5), 1+r.Intn(6), 1+r.Intn(3), 5+r.Intn(25))
+		for _, e := range refineEngines {
+			in := NewInterner()
+			want, wantIters, err := e.eng.Deblank(g, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in2 := NewInterner()
+			got, gotIters, err := e.eng.DeblankFrom(g, LabelPartition(g, in2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantIters != gotIters {
+				t.Fatalf("seed %d %s: iters %d, want %d", seed, e.name, gotIters, wantIters)
+			}
+			for n := 0; n < g.NumNodes(); n++ {
+				if want.Color(rdf.NodeID(n)) != got.Color(rdf.NodeID(n)) {
+					t.Fatalf("seed %d %s: node %d: %d vs %d", seed, e.name, n, got.Color(rdf.NodeID(n)), want.Color(rdf.NodeID(n)))
+				}
+			}
+		}
+	}
+}

@@ -251,7 +251,12 @@ func sortNodeIDs(out []rdf.NodeID) {
 // gathers and interns concurrently (see parallelGatherer); the sharded
 // interner's rank reconciliation keeps color assignment in ascending node
 // order, so every configuration produces the identical coloring.
-func (e *Engine) refineWorklist(g *rdf.Graph, p *Partition, x []rdf.NodeID) (*Partition, int, error) {
+//
+// tracked, when non-nil, collects every node an applied round recolors (the
+// change list Engine.RefineChanged hands to incremental consumers). The
+// quiescent final round is discarded together with its changes, so those are
+// not tracked — unlike the weighted engine, which applies its last round.
+func (e *Engine) refineWorklist(g *rdf.Graph, p *Partition, x []rdf.NodeID, tracked *changeTracker) (*Partition, int, error) {
 	cur := p.Clone()
 	colors := cur.colors
 	inX := make([]bool, len(colors))
@@ -301,6 +306,11 @@ func (e *Engine) refineWorklist(g *rdf.Graph, p *Partition, x []rdf.NodeID) (*Pa
 			colors[ch.n] = ch.new
 			counts.move(ch.old, ch.new)
 			changedNodes = append(changedNodes, ch.n)
+		}
+		if tracked != nil {
+			for _, ch := range changes {
+				tracked.add(ch.n)
+			}
 		}
 		e.Hooks.RoundDirty(StageRefine, iter+1, len(dirty))
 		stamp++

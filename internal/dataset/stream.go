@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"strconv"
@@ -200,3 +201,73 @@ func StreamNTriples(w io.Writer, cfg StreamConfig) (int, error) {
 // quoteLiteral wraps a generator name in quotes; lexicon output is plain
 // ASCII words and spaces, so no escaping is needed.
 func quoteLiteral(s string) string { return `"` + s + `"` }
+
+// StreamDelta writes the canonical edit script (internal/delta grammar:
+// one "+ "/"- " N-Triples line per operation) transforming version
+// cfg.Version of the streaming dataset into version cfg.Version+1.
+// Deletions come first, in version-v emission order, then insertions in
+// version-v+1 emission order. The generator emits no blank nodes and the
+// diff works on deduplicated triple lines, so the script applies cleanly
+// under the strict editor semantics. It returns the deletion and insertion
+// counts.
+func StreamDelta(w io.Writer, cfg StreamConfig) (dels, ins int, err error) {
+	cfg.normalise()
+	cfgNext := cfg
+	cfgNext.Version = cfg.Version + 1
+	linesV, setV, err := streamLines(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	linesN, setN, err := streamLines(cfgNext)
+	if err != nil {
+		return 0, 0, err
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for _, l := range linesV {
+		if _, ok := setN[l]; !ok {
+			bw.WriteString("- ")
+			bw.WriteString(l)
+			bw.WriteByte('\n')
+			dels++
+		}
+	}
+	for _, l := range linesN {
+		if _, ok := setV[l]; !ok {
+			bw.WriteString("+ ")
+			bw.WriteString(l)
+			bw.WriteByte('\n')
+			ins++
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return dels, ins, fmt.Errorf("dataset: stream delta: %w", err)
+	}
+	return dels, ins, nil
+}
+
+// streamLines generates one version and collects its deduplicated triple
+// lines in emission order (the generator legitimately repeats a triple when
+// an article draws the same category twice; graphs and edit scripts are
+// set-based).
+func streamLines(cfg StreamConfig) ([]string, map[string]struct{}, error) {
+	var buf bytes.Buffer
+	if _, err := StreamNTriples(&buf, cfg); err != nil {
+		return nil, nil, err
+	}
+	set := make(map[string]struct{})
+	var lines []string
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if _, ok := set[line]; ok {
+			continue
+		}
+		set[line] = struct{}{}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("dataset: stream delta: %w", err)
+	}
+	return lines, set, nil
+}

@@ -2,9 +2,11 @@ package dataset
 
 import (
 	"bytes"
+	"sort"
 	"strings"
 	"testing"
 
+	"rdfalign/internal/delta"
 	"rdfalign/internal/rdf"
 )
 
@@ -81,5 +83,65 @@ func TestStreamNTriplesVersions(t *testing.T) {
 	}
 	if ratio := float64(shared) / float64(len(lines1)); ratio < 0.9 {
 		t.Errorf("only %.2f of version-1 statements survive into version 2; churn too aggressive", ratio)
+	}
+}
+
+// labelTriples renders a graph as its sorted label-level triple list, the
+// node-ID-independent comparison key.
+func labelTriples(g *rdf.Graph) []string {
+	out := make([]string, 0, g.NumTriples())
+	for _, tr := range g.Triples() {
+		out = append(out, g.Label(tr.S).String()+" "+g.Label(tr.P).String()+" "+g.Label(tr.O).String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestStreamDelta: the emitted edit script, applied to the parsed version-v
+// graph, yields exactly the parsed version-v+1 graph.
+func TestStreamDelta(t *testing.T) {
+	for _, version := range []int{1, 2} {
+		cfg := StreamConfig{Triples: 4000, Seed: 5, Version: version, Churn: 0.05}
+		v1, _ := streamDoc(t, cfg)
+		next := cfg
+		next.Version = version + 1
+		v2, _ := streamDoc(t, next)
+
+		var buf bytes.Buffer
+		dels, ins, err := StreamDelta(&buf, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dels == 0 || ins == 0 {
+			t.Fatalf("version %d delta has %d deletions and %d insertions; churn should produce both", version, dels, ins)
+		}
+		script, err := delta.Parse(&buf)
+		if err != nil {
+			t.Fatalf("emitted delta does not parse: %v", err)
+		}
+		if len(script.Ops) != dels+ins {
+			t.Fatalf("parsed %d ops, StreamDelta reported %d+%d", len(script.Ops), dels, ins)
+		}
+		g1, err := rdf.ParseNTriplesString(v1, "v", rdf.WithStrictMode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, err := rdf.ParseNTriplesString(v2, "v+1", rdf.WithStrictMode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := script.Apply(rdf.NewEditor(g1))
+		if err != nil {
+			t.Fatalf("version %d delta does not apply to version %d: %v", version, version, err)
+		}
+		got, want := labelTriples(res.Graph), labelTriples(g2)
+		if len(got) != len(want) {
+			t.Fatalf("version %d: edited graph has %d triples, version %d has %d", version, len(got), version+1, len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("version %d: triple %d differs:\n got %s\nwant %s", version, i, got[i], want[i])
+			}
+		}
 	}
 }

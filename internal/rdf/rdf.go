@@ -108,9 +108,18 @@ type Edge struct {
 // Graph is an immutable triple graph. Construct one with a Builder, by
 // parsing N-Triples, or by Union. The zero Graph is empty and usable.
 type Graph struct {
-	name    string
-	labels  []Label
-	triples []Triple // sorted by (S, P, O), deduplicated
+	name   string
+	labels []Label
+
+	// triples is the edge list sorted by (S, P, O), deduplicated. Spliced
+	// graphs (patch.go) leave it nil and materialise it on first Triples()
+	// call from the out-CSR, which holds the same edges in the same order —
+	// the alignment session's refinement never reads the flat list, so a
+	// maintained delta skips the O(|E|) merge entirely. ntrip is always the
+	// triple count, materialised or not. Access the list through Triples().
+	triples  []Triple
+	tripOnce sync.Once
+	ntrip    int
 
 	// CSR adjacency: out edges of node n are
 	// outEdges[outIndex[n]:outIndex[n+1]], sorted by (P, O).
@@ -147,7 +156,7 @@ func (g *Graph) Name() string { return g.name }
 func (g *Graph) NumNodes() int { return len(g.labels) }
 
 // NumTriples returns |E_G|.
-func (g *Graph) NumTriples() int { return len(g.triples) }
+func (g *Graph) NumTriples() int { return g.ntrip }
 
 // NumBlanks returns |Blanks(G)|.
 func (g *Graph) NumBlanks() int { return g.blanks }
@@ -200,17 +209,18 @@ func (g *Graph) InDegree(n NodeID) int {
 }
 
 func (g *Graph) buildIn() {
+	ts := g.Triples()
 	g.inIndex = make([]int32, len(g.labels)+1)
-	for _, t := range g.triples {
+	for _, t := range ts {
 		g.inIndex[t.O+1]++
 	}
 	for i := 1; i <= len(g.labels); i++ {
 		g.inIndex[i] += g.inIndex[i-1]
 	}
-	g.inEdges = make([]Edge, len(g.triples))
+	g.inEdges = make([]Edge, len(ts))
 	cursor := make([]int32, len(g.labels))
 	copy(cursor, g.inIndex[:len(g.labels)])
-	for _, t := range g.triples {
+	for _, t := range ts {
 		g.inEdges[cursor[t.O]] = Edge{P: t.P, O: t.S}
 		cursor[t.O]++
 	}
@@ -244,17 +254,18 @@ func (g *Graph) PredOccDegree(n NodeID) int {
 }
 
 func (g *Graph) buildPredOcc() {
+	ts := g.Triples()
 	g.poIndex = make([]int32, len(g.labels)+1)
-	for _, t := range g.triples {
+	for _, t := range ts {
 		g.poIndex[t.P+1]++
 	}
 	for i := 1; i <= len(g.labels); i++ {
 		g.poIndex[i] += g.poIndex[i-1]
 	}
-	g.poEdges = make([]Edge, len(g.triples))
+	g.poEdges = make([]Edge, len(ts))
 	cursor := make([]int32, len(g.labels))
 	copy(cursor, g.poIndex[:len(g.labels)])
-	for _, t := range g.triples {
+	for _, t := range ts {
 		g.poEdges[cursor[t.P]] = Edge{P: t.S, O: t.O}
 		cursor[t.P]++
 	}
@@ -283,19 +294,25 @@ func (g *Graph) Dependents(n NodeID) []NodeID {
 }
 
 func (g *Graph) buildDependents() {
+	if g.depIndex != nil {
+		// Pre-populated at construction (patchDependents splices the index
+		// over from the pre-edit graph before the graph is published).
+		return
+	}
+	ts := g.Triples()
 	n := len(g.labels)
 	idx := make([]int32, n+1)
-	for _, t := range g.triples {
+	for _, t := range ts {
 		idx[t.P+1]++
 		idx[t.O+1]++
 	}
 	for i := 1; i <= n; i++ {
 		idx[i] += idx[i-1]
 	}
-	nodes := make([]NodeID, 2*len(g.triples))
+	nodes := make([]NodeID, 2*len(ts))
 	cursor := make([]int32, n)
 	copy(cursor, idx[:n])
-	for _, t := range g.triples {
+	for _, t := range ts {
 		nodes[cursor[t.P]] = t.S
 		cursor[t.P]++
 		nodes[cursor[t.O]] = t.S
@@ -323,8 +340,26 @@ func (g *Graph) buildDependents() {
 }
 
 // Triples returns the edge list sorted by (S, P, O). The slice aliases
-// internal storage and must not be modified.
-func (g *Graph) Triples() []Triple { return g.triples }
+// internal storage and must not be modified. On a spliced graph that never
+// materialised the list, the first call rebuilds it from the out-CSR (same
+// edges, same order).
+func (g *Graph) Triples() []Triple {
+	g.tripOnce.Do(g.buildTriples)
+	return g.triples
+}
+
+func (g *Graph) buildTriples() {
+	if g.triples != nil || g.ntrip == 0 {
+		return
+	}
+	ts := make([]Triple, 0, g.ntrip)
+	for n := 0; n < len(g.labels); n++ {
+		for _, e := range g.outEdges[g.outIndex[n]:g.outIndex[n+1]] {
+			ts = append(ts, Triple{S: NodeID(n), P: e.P, O: e.O})
+		}
+	}
+	g.triples = ts
+}
 
 // Nodes calls f for every node in increasing ID order.
 func (g *Graph) Nodes(f func(NodeID)) {
@@ -378,9 +413,15 @@ func freeze(name string, labels []Label, triples []Triple) *Graph {
 		dedup = append(dedup, t)
 		prev = t
 	}
-	triples = dedup
+	return freezeSorted(name, labels, dedup)
+}
 
-	g := &Graph{name: name, labels: labels, triples: triples}
+// freezeSorted is freeze for a triple list that is already sorted by
+// (S, P, O) and duplicate-free — the edit/rebase paths (edit.go) maintain
+// that invariant with sorted merges, so rebuilding a graph after a sparse
+// edit costs a linear CSR pass instead of a full sort.
+func freezeSorted(name string, labels []Label, triples []Triple) *Graph {
+	g := &Graph{name: name, labels: labels, triples: triples, ntrip: len(triples)}
 	g.outIndex = make([]int32, len(labels)+1)
 	for _, t := range triples {
 		g.outIndex[t.S+1]++
@@ -430,7 +471,7 @@ func (g *Graph) Validate() error {
 			seenLit[l.Value] = n
 		}
 	}
-	for _, t := range g.triples {
+	for _, t := range g.Triples() {
 		if g.labels[t.P].Kind == Blank {
 			return fmt.Errorf("rdf: graph %q: triple (%d,%d,%d) has blank predicate", g.name, t.S, t.P, t.O)
 		}

@@ -673,7 +673,7 @@ func WriteTurtle(w io.Writer, g *Graph) error {
 	}
 
 	// Group triples by subject (already sorted by S, P, O).
-	ts := g.triples
+	ts := g.Triples()
 	for i := 0; i < len(ts); {
 		s := ts[i].S
 		fmt.Fprintf(bw, "%s ", term(s))

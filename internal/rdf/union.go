@@ -33,8 +33,8 @@ func Union(g1, g2 *Graph) *Combined {
 	labels = append(labels, g1.labels...)
 	labels = append(labels, g2.labels...)
 	triples := make([]Triple, 0, g1.NumTriples()+g2.NumTriples())
-	triples = append(triples, g1.triples...)
-	for _, t := range g2.triples {
+	triples = append(triples, g1.Triples()...)
+	for _, t := range g2.Triples() {
 		triples = append(triples, Triple{S: t.S + off, P: t.P + off, O: t.O + off})
 	}
 	name := g1.name + "⊎" + g2.name

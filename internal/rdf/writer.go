@@ -98,7 +98,7 @@ const maxCanonIters = 64
 // at maxCanonIters as a defensive bound, and an uncoverged order is still
 // deterministic, just not parse-stable).
 func canonicalOrder(g *Graph) ([]Triple, []NodeID, bool) {
-	ts := g.triples
+	ts := g.Triples()
 	n := len(g.labels)
 	rank := make([]NodeID, n)
 	for i := range rank {

@@ -74,6 +74,38 @@ func newNLMatcher(c *rdf.Combined, theta float64, workers int) *nlMatcher {
 	}
 }
 
+// rebase moves the matcher onto a successor combined graph: node IDs are
+// stable, nodes may have been appended and edge sets edited. The per-node
+// arrays grow to the new node count (appended nodes start uncached), the
+// graph pointer swaps, and the caches and postings of the touched nodes —
+// those whose outbound edge set changed — are dropped directly. A changed
+// out-edge set is invisible through any neighbour's color or weight, so the
+// usual dependent-based repair in update cannot catch it; everything else
+// stale is covered by the carry diff the caller feeds into the next round's
+// change list (see resumeNLMatcher).
+func (m *nlMatcher) rebase(c *rdf.Combined, workers int, touched []rdf.NodeID) {
+	m.c = c
+	m.workers = workers
+	if n := c.NumNodes(); n > len(m.have) {
+		m.liveB = append(m.liveB, make([]bool, n-len(m.liveB))...)
+		m.char = append(m.char, make([][]uint64, n-len(m.char))...)
+		m.sorted = append(m.sorted, make([][]uint64, n-len(m.sorted))...)
+		m.nl = append(m.nl, make([][]nlEdge, n-len(m.nl))...)
+		m.have = append(m.have, make([]bool, n-len(m.have))...)
+		m.dirtyMark = append(m.dirtyMark, make([]bool, n-len(m.dirtyMark))...)
+	}
+	for _, s := range touched {
+		if !m.have[s] {
+			continue
+		}
+		if m.liveB[s] {
+			m.removePostings(s)
+			m.liveB[s] = false
+		}
+		m.have[s] = false
+	}
+}
+
 // round discovers H_i over the unaligned non-literal nodes a, b of xi.
 // changed lists the nodes whose color or weight moved since the previous
 // round's xi (ignored on the first round, which builds from scratch). The

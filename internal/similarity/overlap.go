@@ -38,11 +38,69 @@ type OverlapOptions struct {
 	// produces bit-identical colorings, weights and pair sets.
 	Workers int
 
+	// State, when non-nil, carries the non-literal matcher — the inverted
+	// index over B plus the characterisation and σNL caches — across
+	// OverlapAlign calls on successive versions of the same combined graph
+	// (stable node IDs, possibly appended nodes, edited edges). On entry a
+	// populated State is rebased onto c and repaired from Invalidate plus
+	// the exact diff against the previous call's final ξ; on success the
+	// state is refreshed for the next call, and on any error it is reset so
+	// the next call rebuilds from scratch. The result is bit-identical to a
+	// stateless run (the maintenance property tests pin this).
+	State *OverlapState
+	// Invalidate lists the combined-graph nodes whose outbound edge set
+	// changed since the previous call State was saved by (the delta's
+	// touched subjects). An edited out-edge set is invisible to the
+	// color/weight diff — the node's own color may be unchanged — so these
+	// cache entries are dropped directly during the rebase.
+	Invalidate []rdf.NodeID
+
 	// scratchIndex disables the incremental per-round index of the
 	// non-literal matching phase, rebuilding it from scratch every round.
 	// Unexported: the oracle knob of the incremental-vs-scratch property
 	// tests.
 	scratchIndex bool
+}
+
+// OverlapState is the reusable cross-call state of OverlapAlign's
+// non-literal matching phase. The zero value is ready to use; pass the same
+// instance to successive OverlapAlign calls over successive graph versions
+// to reuse the matcher's index and caches at O(changed) repair cost.
+type OverlapState struct {
+	matcher *nlMatcher
+	lastXi  *core.Weighted
+	theta   float64
+}
+
+// Reset drops the carried state; the next OverlapAlign call rebuilds from
+// scratch.
+func (s *OverlapState) Reset() { *s = OverlapState{} }
+
+// resumeNLMatcher returns the matcher for this call and the carry change
+// list for its first round: the exact color/weight diff between the
+// previous call's final ξ and this call's starting ξ0 over the previous
+// node range. Cached entries are valid with respect to the previous final
+// ξ, while the per-round change lists are relative to ξ0; carrying the diff
+// into the first round's repair restores the matcher's invariant. A state
+// that cannot be reused (first call, mismatched θ, a shrunken graph, or the
+// scratch oracle knob) yields a fresh matcher and no carry.
+func resumeNLMatcher(c *rdf.Combined, xi0 *core.Weighted, opt OverlapOptions) (*nlMatcher, []rdf.NodeID) {
+	st := opt.State
+	if st == nil || st.matcher == nil || st.lastXi == nil ||
+		st.theta != opt.Theta || opt.scratchIndex ||
+		st.lastXi.P.Len() > c.NumNodes() {
+		return newNLMatcher(c, opt.Theta, opt.Workers), nil
+	}
+	m := st.matcher
+	m.rebase(c, opt.Workers, opt.Invalidate)
+	oc, nc := st.lastXi.P.Colors(), xi0.P.Colors()
+	var carry []rdf.NodeID
+	for n, col := range oc {
+		if col != nc[n] || st.lastXi.W[n] != xi0.W[n] {
+			carry = append(carry, rdf.NodeID(n))
+		}
+	}
+	return m, carry
 }
 
 // DefaultTheta is the threshold used throughout the paper's evaluation.
@@ -94,7 +152,7 @@ func (r *OverlapResult) Alignment(c *rdf.Combined) *core.Alignment {
 // scratch while Unaligned only shrinks. With opt.Workers > 1 the matching
 // scans and the propagation recoloring additionally fan out across
 // goroutines; every configuration yields bit-identical results.
-func OverlapAlign(c *rdf.Combined, hybrid *core.Partition, opt OverlapOptions) (*OverlapResult, error) {
+func OverlapAlign(c *rdf.Combined, hybrid *core.Partition, opt OverlapOptions) (result *OverlapResult, err error) {
 	if opt.Theta == 0 {
 		opt.Theta = DefaultTheta
 	}
@@ -107,6 +165,19 @@ func OverlapAlign(c *rdf.Combined, hybrid *core.Partition, opt OverlapOptions) (
 	res := &OverlapResult{Theta: opt.Theta}
 
 	xi := core.NewWeighted(hybrid.Clone())
+	matcher, carry := resumeNLMatcher(c, xi, opt)
+	if opt.State != nil {
+		// Refresh the carried state on success; reset it on any error so
+		// the next call rebuilds from scratch instead of repairing from a
+		// torn matcher.
+		defer func() {
+			if err != nil {
+				opt.State.Reset()
+			} else {
+				*opt.State = OverlapState{matcher: matcher, lastXi: result.Xi, theta: opt.Theta}
+			}
+		}()
+	}
 	// Lines 2–4: initial literal matching.
 	a0, b0 := unalignedLiterals(c, xi.P)
 	h, err := OverlapMatchWorkers(a0, b0, opt.Theta, func(n rdf.NodeID) []string {
@@ -121,7 +192,6 @@ func OverlapAlign(c *rdf.Combined, hybrid *core.Partition, opt OverlapOptions) (
 
 	// Lines 5–12.
 	eng := &core.Engine{Hooks: opt.Hooks, Workers: opt.Workers}
-	matcher := newNLMatcher(c, opt.Theta, opt.Workers)
 	matcher.scratchRounds = opt.scratchIndex
 	var changed []rdf.NodeID
 	for {
@@ -140,8 +210,12 @@ func OverlapAlign(c *rdf.Combined, hybrid *core.Partition, opt OverlapOptions) (
 		xi = next
 		// The round moved exactly the colors/weights Enrich assigned plus
 		// the ones the propagation worklist recolored or reweighted; the
-		// incremental matcher invalidates their recolor dependents.
-		changed = append(changed[:0], enrichChanged...)
+		// incremental matcher invalidates their recolor dependents. On a
+		// resumed matcher the first round additionally carries the diff
+		// against the previous call's final ξ (see resumeNLMatcher).
+		changed = append(changed[:0], carry...)
+		carry = nil
+		changed = append(changed, enrichChanged...)
 		changed = append(changed, propChanged...)
 		ai, bi := unalignedNonLiteralsBySide(c, xi.P)
 		h, err = matcher.round(xi, ai, bi, changed, opt.Hooks)
@@ -243,6 +317,14 @@ func NLDistance(c *rdf.Combined, xi *core.Weighted, n, m rdf.NodeID) float64 {
 // nlDistanceEdges is NLDistance over precomputed (key, weight) edge lists —
 // the form the incremental matcher verifies candidates with, so the lists
 // are built once per node per round instead of once per candidate pair.
+//
+// The coupled-pair terms are folded in ascending value order, not key
+// order: ⊕ saturates and floating-point addition is not associative, while
+// color numbering — and therefore key order — depends on the interner's
+// allocation history. The term multiset is numbering-independent (grouping
+// and within-group weight ranks are), so the sorted fold makes σNL bitwise
+// reproducible across interners — what keeps a maintained alignment
+// session's distances identical to a from-scratch run's.
 func nlDistanceEdges(en, em []nlEdge) float64 {
 	fn := distinctKeys(en)
 	fm := distinctKeys(em)
@@ -255,7 +337,8 @@ func nlDistanceEdges(en, em []nlEdge) float64 {
 		return 0
 	}
 	ff := float64(f)
-	acc := 0.0
+	var termsBuf [24]float64
+	terms := termsBuf[:0]
 	uncoupled := 0
 	i, j := 0, 0
 	for i < len(en) || j < len(em) {
@@ -280,10 +363,15 @@ func nlDistanceEdges(en, em []nlEdge) float64 {
 			runM := em[sj:j]
 			k := 0
 			for ; k < len(runN) && k < len(runM); k++ {
-				acc = core.OPlus(acc, core.OPlus(runN[k].w, runM[k].w)/ff)
+				terms = append(terms, core.OPlus(runN[k].w, runM[k].w)/ff)
 			}
 			uncoupled += (len(runN) - k) + (len(runM) - k)
 		}
+	}
+	sort.Float64s(terms)
+	acc := 0.0
+	for _, t := range terms {
+		acc = core.OPlus(acc, t)
 	}
 	return core.OPlus(acc, float64(uncoupled)/ff)
 }

@@ -181,6 +181,11 @@ type Alignment struct {
 	part *core.Partition // partition underlying rel (hybrid base for SigmaEdit)
 	rel  Relation
 
+	// state carries the session state incremental maintenance resumes
+	// from: the persistent interner, the maintained colorings and the
+	// overlap matcher caches. See session.go.
+	state *alignState
+
 	// Diagnostics.
 	refineIterations int
 	overlapRounds    int
@@ -225,6 +230,14 @@ func (o Options) options() []Option {
 
 // Combined returns the union graph the alignment was computed on.
 func (a *Alignment) Combined() *Combined { return a.c }
+
+// Source returns the source graph of the aligned pair.
+func (a *Alignment) Source() *Graph { return a.c.SourceGraph() }
+
+// Target returns the target graph of the aligned pair. After ApplyDelta
+// this is the edited target — the graph every query and any further delta
+// is relative to.
+func (a *Alignment) Target() *Graph { return a.c.TargetGraph() }
 
 // Relation returns the relation backing the alignment: partition-backed for
 // Trivial, Deblank, Hybrid and Overlap, σEdit-backed for SigmaEdit.

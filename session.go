@@ -1,0 +1,228 @@
+package rdfalign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"rdfalign/internal/core"
+	"rdfalign/internal/rdf"
+	"rdfalign/internal/similarity"
+)
+
+// This file implements delta-driven alignment maintenance: ApplyDelta edits
+// the target graph by an EditScript and repairs the alignment instead of
+// recomputing it from scratch.
+//
+// Every Align call starts a session lineage: the returned Alignment carries
+// an alignState referencing the sessionShared of the lineage (persistent
+// color interner, lazily built target-graph editor, overlap matcher
+// caches) plus the per-version immutable snapshot (combined graph, label
+// base colors, deblank fixpoint). ApplyDelta advances the lineage by one
+// version and returns a new Alignment; the input Alignment stays fully
+// usable for queries but can no longer be advanced (ErrStaleAlignment).
+//
+// Maintained output is identical to a from-scratch alignment of the
+// post-edit pair in everything observable — pair sets, distances, unaligned
+// sets, edge statistics, entity counts, the induced grouping — at a cost
+// proportional to the edit rather than the graph:
+//
+//   - the union graph is rebased by a sorted merge over the edit
+//     (rdf.RebaseUnion) instead of re-sorting all triples;
+//   - node IDs are stable under edits, so the label base colors and the
+//     trivial colors are extended for appended nodes only;
+//   - the deblank fixpoint re-runs only when a blank node was touched or
+//     introduced (a blank's color reads just its outbound neighbourhood,
+//     whose base colors never change for existing nodes) or when extended
+//     refinement options are active; otherwise the previous fixpoint is
+//     extended with base colors for the appended nodes, which is exactly
+//     what a full re-run would produce;
+//   - the overlap matcher's inverted index and σNL caches survive in
+//     sessionShared and are repaired from the edit's touched subjects plus
+//     the color/weight diff against the previous final ξ (see
+//     similarity.OverlapState).
+//
+// Interner note: the session replays refinement over the persistent
+// interner, whose composite colors are content-addressed — identical
+// derivations yield identical colors — so re-running a fixpoint reproduces
+// the grouping a fresh interner would produce, merely under different color
+// numbers. All exported observables are numbering-independent.
+
+// ErrStaleAlignment is returned by ApplyDelta when the given alignment is
+// not the newest version of its session lineage: an earlier ApplyDelta
+// already advanced the shared target-graph editor past it.
+var ErrStaleAlignment = errors.New("rdfalign: alignment is not the latest version of its session; apply deltas to the newest Alignment")
+
+// sessionShared is the mutable state shared by every version of one
+// alignment lineage. It is advanced only by a committed ApplyDelta; a
+// failed ApplyDelta rolls the editor back and leaves the lineage on its
+// previous version.
+type sessionShared struct {
+	// version counts committed deltas; alignState.version snapshots it so
+	// stale alignments are rejected.
+	version int
+	// editor maintains the evolving target graph; built lazily on the
+	// first ApplyDelta.
+	editor *rdf.Editor
+	// in is the lineage's persistent color interner.
+	in *core.Interner
+	// overlap carries the overlap matcher's index and caches across
+	// versions (Overlap method only; zero value otherwise).
+	overlap similarity.OverlapState
+}
+
+// alignState is the per-version session snapshot an Alignment carries.
+// Everything here is immutable once the version is committed.
+type alignState struct {
+	al      *Aligner
+	shared  *sessionShared
+	version int
+	c       *rdf.Combined
+	// base holds the label base color of every combined node (non-Trivial
+	// methods); trivial holds the λ_Trivial colors (Trivial method).
+	base    []core.Color
+	trivial []core.Color
+	// deblank is the maintained λ_Deblank fixpoint (non-Trivial methods).
+	deblank *core.Partition
+}
+
+// ApplyDelta applies an edit script to the target graph of alignment a and
+// returns the alignment of the source against the edited target,
+// maintained incrementally from a's session state. The result is what
+// Align(ctx, a.Source(), editedTarget) would return — identical pair sets,
+// distances, unaligned sets, edge statistics and entity counts — at a cost
+// proportional to the edit.
+//
+// a must be the newest version of a lineage started by this Aligner's
+// Align (ErrStaleAlignment otherwise), and the lineage must be advanced
+// from one goroutine at a time; alignments themselves remain safe for
+// concurrent queries. On any error — a script that does not apply, or
+// cancellation mid-maintenance — the edit is rolled back, the lineage
+// stays on version a, and both a and a retry remain fully usable.
+func (al *Aligner) ApplyDelta(ctx context.Context, a *Alignment, s *EditScript) (*Alignment, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	st := a.state
+	if st == nil || st.al == nil {
+		return nil, errors.New("rdfalign: alignment carries no session state")
+	}
+	if st.al != al {
+		return nil, errors.New("rdfalign: alignment was produced by a different Aligner")
+	}
+	sh := st.shared
+	if st.version != sh.version {
+		return nil, ErrStaleAlignment
+	}
+	if sh.editor == nil {
+		sh.editor = rdf.NewEditor(st.c.TargetGraph())
+	}
+	res, err := sh.editor.Apply(s.Ops)
+	if err != nil {
+		return nil, fmt.Errorf("rdfalign: apply delta: %w", err)
+	}
+	a2, err := al.maintain(ctx, st, res)
+	if err != nil {
+		// Roll the edit back so the lineage stays on version a; a failed
+		// OverlapAlign has already reset the shared matcher state, so a
+		// retry starts from a consistent snapshot either way.
+		sh.editor.Revert(res)
+		return nil, err
+	}
+	sh.version++
+	a2.state.version = sh.version
+	return a2, nil
+}
+
+// ApplyDelta is Aligner.ApplyDelta on the aligner that produced a.
+func (a *Alignment) ApplyDelta(ctx context.Context, s *EditScript) (*Alignment, error) {
+	if a.state == nil || a.state.al == nil {
+		return nil, errors.New("rdfalign: alignment carries no session state")
+	}
+	return a.state.al.ApplyDelta(ctx, a, s)
+}
+
+// maintain rebuilds the alignment over the edited target from the previous
+// version's state. It never mutates st; on error the caller rolls the
+// editor back and the lineage is untouched.
+func (al *Aligner) maintain(ctx context.Context, st *alignState, res *rdf.EditResult) (*Alignment, error) {
+	eng := al.engine(ctx)
+	sh := st.shared
+	in := sh.in
+	c2 := rdf.RebaseUnion(st.c, res.Graph, res.Added, res.Removed)
+	oldN, newN := st.c.NumNodes(), c2.NumNodes()
+	touched := make([]rdf.NodeID, len(res.Touched))
+	for i, n := range res.Touched {
+		touched[i] = c2.FromTarget(n)
+	}
+
+	st2 := &alignState{al: al, shared: sh, c: c2}
+	a2 := &Alignment{Method: al.cfg.method, Theta: al.cfg.theta, c: c2, state: st2}
+
+	if al.cfg.method == Trivial {
+		colors := make([]core.Color, newN)
+		copy(colors, st.trivial)
+		for n := oldN; n < newN; n++ {
+			if c2.IsBlank(rdf.NodeID(n)) {
+				colors[n] = in.Fresh()
+			} else {
+				colors[n] = in.Base(c2.Label(rdf.NodeID(n)))
+			}
+		}
+		st2.trivial = colors
+		p := core.NewPartition(in, colors)
+		a2.part = p
+		a2.rel = newPartitionRelation(c2, p, core.NewAlignment(c2, p))
+		return a2, nil
+	}
+
+	// Extend the label base colors for the appended nodes; existing nodes
+	// keep their IDs and labels, so their base colors are already right.
+	base2 := make([]core.Color, newN)
+	copy(base2, st.base)
+	for n := oldN; n < newN; n++ {
+		base2[n] = in.Base(c2.Label(rdf.NodeID(n)))
+	}
+	st2.base = base2
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Deblank phase. A blank's fixpoint color reads only its outbound
+	// neighbourhood: the base colors of existing nodes never change, so the
+	// previous fixpoint stays exact unless the edit touched a blank
+	// subject's out-edges or introduced new blanks. Extended refinement
+	// options (contextual, adaptive, key predicates) read inbound and
+	// occurrence neighbourhoods, which edits to non-blank subjects can
+	// reach, so they always re-run.
+	seeds := false
+	for _, n := range touched {
+		if c2.IsBlank(n) {
+			seeds = true
+			break
+		}
+	}
+	for n := oldN; !seeds && n < newN; n++ {
+		seeds = c2.IsBlank(rdf.NodeID(n))
+	}
+	var deblank2 *core.Partition
+	itDeblank := 0
+	if !seeds && !al.cfg.contextual && !al.cfg.adaptive && len(al.cfg.keyPredicates) == 0 {
+		colors := make([]core.Color, newN)
+		copy(colors, st.deblank.Colors())
+		copy(colors[oldN:], base2[oldN:])
+		deblank2 = core.NewPartition(in, colors)
+	} else {
+		var err error
+		deblank2, itDeblank, err = eng.DeblankFrom(c2.Graph, core.NewPartition(in, base2))
+		if err != nil {
+			return nil, err
+		}
+	}
+	st2.deblank = deblank2
+	return al.finishFromDeblank(eng, a2, deblank2, itDeblank, touched)
+}

@@ -1,0 +1,316 @@
+package rdfalign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rdfalign/internal/core"
+	"rdfalign/internal/rdf"
+)
+
+// randomSessionGraph builds a random graph over a shared label alphabet so
+// alignments between two draws are non-trivial.
+func randomSessionGraph(rng *rand.Rand, name string) *Graph {
+	b := NewBuilder(name)
+	preds := []NodeID{b.URI("http://e/p"), b.URI("http://e/q")}
+	subjects := append([]NodeID(nil), preds...)
+	objects := append([]NodeID(nil), preds...)
+	for i := 0; i < 4+rng.Intn(6); i++ {
+		switch rng.Intn(4) {
+		case 0:
+			objects = append(objects, b.Literal(fmt.Sprintf("lit%d", rng.Intn(4))))
+		case 1:
+			n := b.FreshBlank()
+			subjects = append(subjects, n)
+			objects = append(objects, n)
+		default:
+			n := b.URI(fmt.Sprintf("http://e/n%d", rng.Intn(8)))
+			subjects = append(subjects, n)
+			objects = append(objects, n)
+		}
+	}
+	for i := 0; i < 5+rng.Intn(12); i++ {
+		b.Triple(subjects[rng.Intn(len(subjects))], preds[rng.Intn(2)], objects[rng.Intn(len(objects))])
+	}
+	return b.MustGraph()
+}
+
+// randomScript draws a random edit script against the current target graph:
+// deletions of existing (blank-free) triples, insertions of fresh triples,
+// and occasionally a script-introduced blank node. kind selects
+// deletions-only (0), insertions-only (1) or mixed (2). The tag keeps
+// inserted values unique across chained deltas.
+func randomScript(rng *rand.Rand, t *Graph, kind int, tag string) *EditScript {
+	asTerm := func(n NodeID) rdf.Term {
+		l := t.Label(n)
+		return rdf.Term{Kind: l.Kind, Value: l.Value}
+	}
+	s := &EditScript{}
+	if kind != 1 {
+		for _, tr := range t.Triples() {
+			if rng.Intn(4) != 0 {
+				continue
+			}
+			if t.IsBlank(tr.S) || t.IsBlank(tr.O) {
+				continue
+			}
+			s.Ops = append(s.Ops, rdf.EditOp{T: rdf.TermTriple{S: asTerm(tr.S), P: asTerm(tr.P), O: asTerm(tr.O)}})
+		}
+	}
+	if kind != 0 {
+		p := rdf.Term{Kind: rdf.URI, Value: "http://e/p"}
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			var sub rdf.Term
+			if rng.Intn(4) == 0 {
+				sub = rdf.Term{Kind: rdf.Blank, Value: "fresh"}
+			} else {
+				sub = rdf.Term{Kind: rdf.URI, Value: fmt.Sprintf("http://e/n%d", rng.Intn(10))}
+			}
+			obj := rdf.Term{Kind: rdf.Literal, Value: fmt.Sprintf("ins-%s-%d", tag, i)}
+			s.Ops = append(s.Ops, rdf.EditOp{Insert: true, T: rdf.TermTriple{S: sub, P: p, O: obj}})
+		}
+	}
+	if len(s.Ops) == 0 {
+		s.Ops = append(s.Ops, rdf.EditOp{Insert: true, T: rdf.TermTriple{
+			S: rdf.Term{Kind: rdf.URI, Value: "http://e/n0"},
+			P: rdf.Term{Kind: rdf.URI, Value: "http://e/p"},
+			O: rdf.Term{Kind: rdf.Literal, Value: "ins-" + tag},
+		}})
+	}
+	return s
+}
+
+// observables flattens every exported observable of an alignment for
+// bit-exact comparison.
+type observables struct {
+	pairs        map[[2]NodeID]float64
+	unSrc, unTgt []NodeID
+	entAll, entU int
+	edges        EdgeStats
+}
+
+func observe(a *Alignment) observables {
+	o := observables{pairs: map[[2]NodeID]float64{}}
+	a.Pairs(func(n1, n2 NodeID) {
+		o.pairs[[2]NodeID{n1, n2}] = a.Distance(n1, n2)
+	})
+	o.unSrc, o.unTgt = a.Unaligned()
+	o.entAll = a.AlignedEntityCount(false)
+	o.entU = a.AlignedEntityCount(true)
+	o.edges = a.EdgeStats()
+	return o
+}
+
+// requireSameAlignment asserts that a maintained alignment equals a
+// from-scratch one in every observable, including the induced grouping.
+func requireSameAlignment(t *testing.T, label string, got, want *Alignment) {
+	t.Helper()
+	og, ow := observe(got), observe(want)
+	if !reflect.DeepEqual(og.pairs, ow.pairs) {
+		t.Fatalf("%s: pair/distance sets differ: %d vs %d pairs", label, len(og.pairs), len(ow.pairs))
+	}
+	if !reflect.DeepEqual(og.unSrc, ow.unSrc) || !reflect.DeepEqual(og.unTgt, ow.unTgt) {
+		t.Fatalf("%s: unaligned sets differ", label)
+	}
+	if og.entAll != ow.entAll || og.entU != ow.entU {
+		t.Fatalf("%s: entity counts differ: (%d,%d) vs (%d,%d)", label, og.entAll, og.entU, ow.entAll, ow.entU)
+	}
+	if og.edges != ow.edges {
+		t.Fatalf("%s: edge stats differ: %+v vs %+v", label, og.edges, ow.edges)
+	}
+	if !core.Equivalent(got.part, want.part) {
+		t.Fatalf("%s: partitions not grouping-equivalent", label)
+	}
+}
+
+// TestApplyDeltaMatchesScratch is the maintenance acceptance property:
+// chained ApplyDelta calls produce, for every method and worker count and
+// for insertion-only, deletion-only and mixed scripts, exactly the
+// alignment a from-scratch Align of the source against the edited target
+// produces.
+func TestApplyDeltaMatchesScratch(t *testing.T) {
+	methods := []Method{Trivial, Deblank, Hybrid, Overlap, SigmaEdit}
+	workerChoices := []int{1, 2, 4, 8}
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g1 := randomSessionGraph(rng, "g1")
+		g2 := randomSessionGraph(rng, "g2")
+		for _, m := range methods {
+			workers := workerChoices[int(seed)%len(workerChoices)]
+			al, err := NewAligner(WithMethod(m), WithParallelism(workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := al.Align(context.Background(), g1, g2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for step := 0; step < 3; step++ {
+				kind := (int(seed) + step) % 3
+				// Round-trip the script through its canonical text form so
+				// the maintenance path exercises the serialization too.
+				s := randomScript(rng, a.Target(), kind, fmt.Sprintf("%d-%d-%d", seed, m, step))
+				s, err = ParseEditScriptString(s.Format())
+				if err != nil {
+					t.Fatal(err)
+				}
+				a2, err := al.ApplyDelta(context.Background(), a, s)
+				if err != nil {
+					t.Fatalf("seed %d %v step %d: ApplyDelta: %v", seed, m, step, err)
+				}
+				scratch, err := al.Align(context.Background(), g1, a2.Target())
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameAlignment(t, fmt.Sprintf("seed %d method %v workers %d step %d kind %d", seed, m, workers, step, kind), a2, scratch)
+				a = a2
+			}
+		}
+	}
+}
+
+// TestApplyDeltaExtendedOptions covers the always-re-run deblank path: with
+// contextual/adaptive refinement the fixpoint cannot be skipped, and the
+// maintained result must still match scratch.
+func TestApplyDeltaExtendedOptions(t *testing.T) {
+	opts := [][]Option{
+		{WithMethod(Hybrid), WithContextual()},
+		{WithMethod(Deblank), WithAdaptive()},
+	}
+	for oi, o := range opts {
+		rng := rand.New(rand.NewSource(int64(100 + oi)))
+		g1 := randomSessionGraph(rng, "g1")
+		g2 := randomSessionGraph(rng, "g2")
+		al, err := NewAligner(o...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := al.Align(context.Background(), g1, g2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := randomScript(rng, a.Target(), 2, fmt.Sprintf("x%d", oi))
+		a2, err := al.ApplyDelta(context.Background(), a, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch, err := al.Align(context.Background(), g1, a2.Target())
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameAlignment(t, fmt.Sprintf("opts %d", oi), a2, scratch)
+	}
+}
+
+// TestApplyDeltaStale: only the newest version of a lineage can be
+// advanced; superseded alignments keep answering queries.
+func TestApplyDeltaStale(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g1 := randomSessionGraph(rng, "g1")
+	g2 := randomSessionGraph(rng, "g2")
+	al, err := NewAligner(WithMethod(Hybrid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := al.Align(context.Background(), g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := observe(a)
+	s := randomScript(rng, a.Target(), 2, "stale")
+	a2, err := al.ApplyDelta(context.Background(), a, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := al.ApplyDelta(context.Background(), a, randomScript(rng, a.Target(), 1, "stale2")); !errors.Is(err, ErrStaleAlignment) {
+		t.Fatalf("advancing a superseded alignment: err = %v, want ErrStaleAlignment", err)
+	}
+	// The superseded version still answers queries unchanged.
+	if after := observe(a); !reflect.DeepEqual(after.pairs, before.pairs) {
+		t.Fatal("superseded alignment changed under a later delta")
+	}
+	// A different aligner's alignment is rejected.
+	al2, _ := NewAligner(WithMethod(Hybrid))
+	if _, err := al2.ApplyDelta(context.Background(), a2, s); err == nil {
+		t.Fatal("foreign aligner accepted the alignment")
+	}
+}
+
+// TestApplyDeltaErrorRollsBack: a script that fails to apply, or a
+// cancellation mid-maintenance, leaves the lineage on the previous version
+// with no torn state — the same delta (or a corrected one) applies cleanly
+// afterwards and matches scratch.
+func TestApplyDeltaErrorRollsBack(t *testing.T) {
+	for _, m := range []Method{Hybrid, Overlap} {
+		rng := rand.New(rand.NewSource(7))
+		g1 := randomSessionGraph(rng, "g1")
+		g2 := randomSessionGraph(rng, "g2")
+
+		// Cancellation between the edit and the fixpoints: a progress hook
+		// cancels as soon as the maintenance engine reports any round.
+		ctx, cancel := context.WithCancel(context.Background())
+		fired := false
+		al, err := NewAligner(WithMethod(m), WithProgress(func(Progress) {
+			if fired {
+				cancel()
+			}
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := al.Align(ctx, g1, g2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fired = true // arm the hook: the next engine round cancels ctx
+
+		s := randomScript(rng, a.Target(), 2, "cancel")
+		if _, err := al.ApplyDelta(ctx, a, s); err == nil {
+			// Cancellation may race past a short maintenance run; only a
+			// returned error must imply rollback, so nothing to check.
+			t.Log("maintenance finished before cancellation was observed")
+		} else if !errors.Is(err, context.Canceled) {
+			t.Fatalf("method %v: err = %v, want context.Canceled", m, err)
+		} else {
+			// The lineage must still be on version a: a retry with a live
+			// context succeeds and matches scratch.
+			fired = false
+			a2, err := al.ApplyDelta(context.Background(), a, s)
+			if err != nil {
+				t.Fatalf("method %v: retry after cancellation: %v", m, err)
+			}
+			scratch, err := al.Align(context.Background(), g1, a2.Target())
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameAlignment(t, fmt.Sprintf("method %v retry", m), a2, scratch)
+			a = a2
+		}
+
+		// A script that cannot apply (deleting an absent triple) rolls the
+		// editor back; a valid delta still applies on top.
+		bad := &EditScript{Ops: []rdf.EditOp{{T: rdf.TermTriple{
+			S: rdf.Term{Kind: rdf.URI, Value: "http://e/definitely-absent"},
+			P: rdf.Term{Kind: rdf.URI, Value: "http://e/p"},
+			O: rdf.Term{Kind: rdf.Literal, Value: "nope"},
+		}}}}
+		fired = false
+		if _, err := al.ApplyDelta(context.Background(), a, bad); err == nil {
+			t.Fatalf("method %v: absent delete applied", m)
+		}
+		good := randomScript(rng, a.Target(), 2, "after-bad")
+		a3, err := al.ApplyDelta(context.Background(), a, good)
+		if err != nil {
+			t.Fatalf("method %v: apply after failed script: %v", m, err)
+		}
+		scratch, err := al.Align(context.Background(), g1, a3.Target())
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameAlignment(t, fmt.Sprintf("method %v after-bad", m), a3, scratch)
+	}
+}
