@@ -131,10 +131,14 @@ func WithParallelism(workers int) Option {
 // after construction and safe for concurrent use by multiple goroutines.
 type Aligner struct {
 	cfg alignerConfig
+	// opts is the option list the session was built from, kept so With can
+	// derive a new session without the caller re-assembling its
+	// configuration.
+	opts []Option
 }
 
 // NewAligner validates the options and returns a session. The zero-option
-// session matches Align's defaults: the Trivial method at θ = 0.65.
+// session matches the package defaults: the Trivial method at θ = 0.65.
 func NewAligner(opts ...Option) (*Aligner, error) {
 	var cfg alignerConfig
 	for _, o := range opts {
@@ -151,8 +155,29 @@ func NewAligner(opts ...Option) (*Aligner, error) {
 	default:
 		return nil, fmt.Errorf("rdfalign: unknown method %v", cfg.method)
 	}
-	return &Aligner{cfg: cfg}, nil
+	return &Aligner{cfg: cfg, opts: append([]Option(nil), opts...)}, nil
 }
+
+// With derives a new session from this one: the receiver's options are
+// re-applied, then opts on top (later options override earlier ones, as in
+// NewAligner). The receiver is unchanged. Services use this to attach
+// per-request state — a job-scoped progress observer, a request-scoped
+// worker budget — to a shared base configuration:
+//
+//	jobAligner, err := base.With(WithProgress(job.observe), WithParallelism(slots))
+func (al *Aligner) With(opts ...Option) (*Aligner, error) {
+	merged := make([]Option, 0, len(al.opts)+len(opts))
+	merged = append(merged, al.opts...)
+	merged = append(merged, opts...)
+	return NewAligner(merged...)
+}
+
+// Method returns the session's alignment method.
+func (al *Aligner) Method() Method { return al.cfg.method }
+
+// Theta returns the session's resolved similarity threshold θ (the
+// default 0.65 when no WithTheta option was given).
+func (al *Aligner) Theta() float64 { return al.cfg.theta }
 
 // hooks assembles the core hooks for one Align/BuildArchive call.
 func (al *Aligner) hooks(ctx context.Context) core.Hooks {

@@ -22,8 +22,12 @@ type (
 
 // BuildArchive archives a sequence of graph versions, aligning consecutive
 // versions to chain node identities. It is the uncancellable legacy entry
-// point; (*Aligner).BuildArchive adds cancellation and per-version
-// progress.
+// point.
+//
+// Deprecated: use NewAligner followed by (*Aligner).BuildArchive, which
+// adds cancellation and per-version progress and shares the session's
+// refinement configuration. This wrapper remains for source compatibility
+// only.
 func BuildArchive(graphs []*Graph, opt ArchiveOptions) (*Archive, error) {
 	return archive.Build(graphs, opt)
 }

@@ -218,14 +218,30 @@ type loadOptions struct {
 	saveSnapshot   bool // write <path>.snap after parsing
 }
 
+// loadSnapshot opens a snapshot of either kind and returns a graph: the
+// graph itself, or — for an archive snapshot — its newest version, so
+// aligning against an archive means aligning against where it left off.
+func loadSnapshot(path string) (*rdfalign.Graph, error) {
+	h, err := rdfalign.OpenSnapshot(path)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+	if h.IsArchive() {
+		fmt.Fprintf(os.Stderr, "rdfalign: %s is an archive snapshot; using newest version %d\n", path, h.Versions()-1)
+	}
+	return h.Version(h.Versions() - 1)
+}
+
 // load reads an RDF file, picking the parser by extension: .snap is a
-// binary snapshot, .ttl/.turtle is Turtle, everything else N-Triples
-// (streamed through the parallel pipeline with the given parse options).
-// With preferSnapshot, an existing <path>.snap sidecar is loaded instead
-// of reparsing; with saveSnapshot, that sidecar is written after parsing.
+// binary snapshot (graph, or archive — then the newest version),
+// .ttl/.turtle is Turtle, everything else N-Triples (streamed through the
+// parallel pipeline with the given parse options). With preferSnapshot,
+// an existing <path>.snap sidecar is loaded instead of reparsing; with
+// saveSnapshot, that sidecar is written after parsing.
 func load(path, role string, opts loadOptions) *rdfalign.Graph {
 	if strings.HasSuffix(path, ".snap") {
-		g, err := rdfalign.ReadGraphSnapshotFile(path)
+		g, err := loadSnapshot(path)
 		if err != nil {
 			fatal(err)
 		}
@@ -233,7 +249,7 @@ func load(path, role string, opts loadOptions) *rdfalign.Graph {
 	}
 	snapPath := path + ".snap"
 	if opts.preferSnapshot {
-		if g, err := rdfalign.ReadGraphSnapshotFile(snapPath); err == nil {
+		if g, err := loadSnapshot(snapPath); err == nil {
 			return g
 		} else if !os.IsNotExist(err) {
 			fatal(err)

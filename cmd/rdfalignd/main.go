@@ -1,0 +1,155 @@
+// Command rdfalignd serves resident RDF archives over HTTP: alignment as
+// a service. Archives are loaded from binary snapshots at startup (or
+// uploaded at runtime), kept in memory, and queried concurrently through
+// the read-only relation endpoints while new versions and delta scripts
+// are aligned asynchronously by a bounded job pool.
+//
+//	rdfalignd -addr :8425 -archive dblp=dblp.snap -archive wiki=wiki.snap
+//
+// Endpoints (see the repository README for the full table and curl
+// examples):
+//
+//	GET  /healthz                              liveness + budget gauges
+//	GET  /archives                             list resident archives
+//	PUT  /archives/{name}                      load snapshot or N-Triples (sync)
+//	GET  /archives/{name}                      summary
+//	GET  /archives/{name}/stats                §6 archive statistics
+//	GET  /archives/{name}/versions             per-version node/triple counts
+//	GET  /archives/{name}/versions/{v}         download one version as N-Triples
+//	POST /archives/{name}/versions             align an uploaded version (async job)
+//	POST /archives/{name}/deltas               apply an edit script (async job)
+//	GET  /archives/{name}/aligned?source=&target=
+//	GET  /archives/{name}/distance?source=&target=
+//	GET  /archives/{name}/matches?uri=
+//	GET  /archives/{name}/resolve?uri=&from=&to=
+//	GET  /jobs, GET /jobs/{id}, DELETE /jobs/{id}
+//
+// The worker budget is split between the query path (-query-workers) and
+// the alignment pool (-align-jobs): a long-running alignment can never
+// starve queries. SIGINT/SIGTERM drain in-flight requests and cancel
+// running jobs.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rdfalign"
+	"rdfalign/internal/server"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("rdfalignd: ")
+
+	var (
+		addr         = flag.String("addr", ":8425", "listen address")
+		method       = flag.String("method", "hybrid", "alignment method: "+methodNames())
+		theta        = flag.Float64("theta", 0.9, "similarity threshold for overlap/sigmaedit")
+		resolveAmbig = flag.Bool("resolve-ambiguous", false, "greedily resolve ambiguous blank-node matches")
+		queryWorkers = flag.Int("query-workers", 16, "max concurrently executing queries")
+		alignJobs    = flag.Int("align-jobs", 1, "max concurrently running alignment jobs")
+		alignWorkers = flag.Int("align-workers", 0, "worker goroutines per alignment (0 = all cores)")
+		queryTimeout = flag.Duration("query-timeout", 10*time.Second, "per-query deadline, including budget wait")
+		maxUpload    = flag.Int64("max-upload", 1<<30, "max request body bytes")
+	)
+	archives := map[string]string{}
+	flag.Func("archive", "archive to load at startup, as name=snapshot-path (repeatable)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("want name=path, got %q", v)
+		}
+		if _, dup := archives[name]; dup {
+			return fmt.Errorf("archive %q given twice", name)
+		}
+		archives[name] = path
+		return nil
+	})
+	flag.Parse()
+
+	if err := run(*addr, archives, *method, *theta, *resolveAmbig, *queryWorkers, *alignJobs, *alignWorkers, *queryTimeout, *maxUpload); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func methodNames() string {
+	names := make([]string, 0, len(rdfalign.Methods()))
+	for _, m := range rdfalign.Methods() {
+		names = append(names, m.String())
+	}
+	return strings.Join(names, ", ")
+}
+
+func run(addr string, archives map[string]string, method string, theta float64, resolveAmbig bool, queryWorkers, alignJobs, alignWorkers int, queryTimeout time.Duration, maxUpload int64) error {
+	m, err := rdfalign.ParseMethod(method)
+	if err != nil {
+		return err
+	}
+	opts := []rdfalign.Option{
+		rdfalign.WithMethod(m),
+		rdfalign.WithTheta(theta),
+		rdfalign.WithParallelism(alignWorkers),
+	}
+	if resolveAmbig {
+		opts = append(opts, rdfalign.WithResolveAmbiguous())
+	}
+	base, err := rdfalign.NewAligner(opts...)
+	if err != nil {
+		return err
+	}
+
+	srv, err := server.New(server.Config{
+		Aligner:        base,
+		QueryWorkers:   queryWorkers,
+		AlignJobs:      alignJobs,
+		QueryTimeout:   queryTimeout,
+		MaxUploadBytes: maxUpload,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	for name, path := range archives {
+		start := time.Now()
+		if err := srv.LoadSnapshotFile(ctx, name, path); err != nil {
+			return fmt.Errorf("load -archive %s=%s: %w", name, path, err)
+		}
+		log.Printf("archive %q resident in %v", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	hs := &http.Server{Addr: addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (%d archives, %d query workers, %d align jobs)",
+			addr, len(archives), queryWorkers, alignJobs)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("signal received; draining")
+	srv.Close() // cancel running jobs
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	log.Printf("bye")
+	return nil
+}

@@ -55,11 +55,25 @@
 // Every result implements the Relation interface
 // (Aligned/Distance/MatchesOf/Pairs/Unaligned), whether it is backed by a
 // partition (Trivial, Deblank, Hybrid, Overlap) or by the σEdit distance
-// (SigmaEdit), so callers treat all methods uniformly. The one-shot
+// (SigmaEdit), so callers treat all methods uniformly.
 //
-//	a, _ := rdfalign.Align(g1, g2, rdfalign.Options{Method: rdfalign.Overlap})
+// NewAligner is the single entry point. The Options struct and the
+// package-level Align and BuildArchive wrappers that consume it are
+// deprecated: they predate the session API, cannot express cancellation,
+// progress, parallelism or maintenance, and exist only so old callers
+// keep compiling. Migrate by replacing
 //
-// wrapper remains for callers that need neither cancellation nor progress.
+//	a, err := rdfalign.Align(g1, g2, rdfalign.Options{Method: rdfalign.Overlap, Theta: 0.65})
+//
+// with
+//
+//	al, err := rdfalign.NewAligner(rdfalign.WithMethod(rdfalign.Overlap), rdfalign.WithTheta(0.65))
+//	a, err := al.Align(ctx, g1, g2)
+//
+// — each Options field has a functional-option counterpart with the same
+// semantics and defaults. Aligner.With derives a new session from an
+// existing one (base options plus overrides), which is how the server
+// attaches per-job progress hooks without re-stating the configuration.
 //
 // # Maintenance
 //
@@ -163,6 +177,26 @@
 // byte offset. FuzzReadGraph pins the never-panic/never-over-allocate
 // guarantee; see the internal/snapshot package for the format layout and
 // the compatibility policy.
+//
+// # Service
+//
+// cmd/rdfalignd serves resident archives over HTTP — alignment as a
+// service. Archives load from binary snapshots at startup (-archive
+// name=path) or via PUT, stay in memory, and answer the relation
+// endpoints (aligned, distance, matches, resolve-across-versions, stats,
+// versions) concurrently from an immutable, atomically-published head, so
+// readers never observe a torn state. New versions (POST
+// /archives/{name}/versions, N-Triples or graph snapshot body) and edit
+// scripts (POST /archives/{name}/deltas) align asynchronously through the
+// session API — ApplyDelta maintenance for deltas, a fresh pair alignment
+// for uploads — with per-job progress at /jobs/{id} and cancellation via
+// DELETE. The worker budget is split into two disjoint pools
+// (-query-workers, -align-jobs): a long-running alignment can never
+// starve the query path. A delta submitted against a version that was
+// superseded before the job ran fails with HTTP 409 — the session API's
+// ErrStaleAlignment surfaced over the wire (Alignment.Stale is the
+// in-process equivalent). See internal/server and the README's "Running
+// the server" section for the endpoint table and curl examples.
 //
 // The package also ships the paper's complete evaluation apparatus:
 // deterministic generators for the three datasets of Section 5 (an EFO-like

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,11 +28,22 @@ func main() {
 	}
 	fmt.Println()
 
+	// One aligner per method, reused across every consecutive pair.
+	ctx := context.Background()
+	aligners := map[rdfalign.Method]*rdfalign.Aligner{}
+	for _, m := range []rdfalign.Method{rdfalign.Deblank, rdfalign.Hybrid, rdfalign.Overlap} {
+		al, err := rdfalign.NewAligner(rdfalign.WithMethod(m))
+		if err != nil {
+			log.Fatal(err)
+		}
+		aligners[m] = al
+	}
+
 	fmt.Println("pair   method    edge-ratio  exact  incl  false  miss")
 	for v := 0; v+1 < len(d.Graphs); v++ {
 		tr := d.GroundTruth(v, v+1)
 		for _, m := range []rdfalign.Method{rdfalign.Deblank, rdfalign.Hybrid, rdfalign.Overlap} {
-			a, err := rdfalign.Align(d.Graphs[v], d.Graphs[v+1], rdfalign.Options{Method: m})
+			a, err := aligners[m].Align(ctx, d.Graphs[v], d.Graphs[v+1])
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -46,7 +58,7 @@ func main() {
 	// migration; Hybrid aligns the renamed classes that Deblank misses.
 	fmt.Println("\nversions 7→8 (bulk prefix migration http://purl.org/obo/owl/ → http://purl.obolibrary.org/obo/):")
 	for _, m := range []rdfalign.Method{rdfalign.Deblank, rdfalign.Hybrid} {
-		a, err := rdfalign.Align(d.Graphs[6], d.Graphs[7], rdfalign.Options{Method: m})
+		a, err := aligners[m].Align(ctx, d.Graphs[6], d.Graphs[7])
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -81,8 +82,14 @@ func main() {
 	fmt.Println("export A:", rdfalign.GatherStats(g1))
 	fmt.Println("export B:", rdfalign.GatherStats(g2))
 
+	ctx := context.Background()
+
 	// No URIs are shared, so Trivial aligns no resources…
-	trivial, err := rdfalign.Align(g1, g2, rdfalign.Options{Method: rdfalign.Trivial})
+	trivialAl, err := rdfalign.NewAligner(rdfalign.WithMethod(rdfalign.Trivial))
+	if err != nil {
+		log.Fatal(err)
+	}
+	trivial, err := trivialAl.Align(ctx, g1, g2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -90,7 +97,12 @@ func main() {
 		trivial.AlignedEntityCount(true))
 
 	// …but Overlap reconnects the tuples from content and structure.
-	overlap, err := rdfalign.Align(g1, g2, rdfalign.Options{Method: rdfalign.Overlap, Theta: 0.65})
+	overlapAl, err := rdfalign.NewAligner(
+		rdfalign.WithMethod(rdfalign.Overlap), rdfalign.WithTheta(0.65))
+	if err != nil {
+		log.Fatal(err)
+	}
+	overlap, err := overlapAl.Align(ctx, g1, g2)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -418,23 +418,41 @@ func (a *Archive) LabelAt(e EntityID, v int) (rdf.Label, bool) {
 
 // Snapshot reconstructs version v exactly (up to node identity).
 func (a *Archive) Snapshot(v int) (*rdf.Graph, error) {
+	g, _, err := a.snapshotEntities(v)
+	return g, err
+}
+
+// snapshotEntities reconstructs version v together with the node→entity
+// assignment of the reconstructed graph — the mapping recordVersion
+// originally held for that version, re-expressed over the snapshot's node
+// IDs. Blank nodes cannot be mapped back through labels (every blank
+// carries the same ⊥ label), so the assignment is collected while the
+// builder allocates nodes.
+func (a *Archive) snapshotEntities(v int) (*rdf.Graph, []EntityID, error) {
 	if v < 0 || v >= a.versions {
-		return nil, fmt.Errorf("archive: version %d out of range [0, %d)", v, a.versions)
+		return nil, nil, fmt.Errorf("archive: version %d out of range [0, %d)", v, a.versions)
 	}
 	b := rdf.NewBuilder(fmt.Sprintf("snapshot-v%d", v+1))
+	var entities []EntityID
 	node := func(e EntityID) (rdf.NodeID, error) {
 		l, ok := a.LabelAt(e, v)
 		if !ok {
 			return 0, fmt.Errorf("archive: entity %d absent at version %d but referenced by a row", e, v)
 		}
+		var n rdf.NodeID
 		switch l.Kind {
 		case rdf.URI:
-			return b.URI(l.Value), nil
+			n = b.URI(l.Value)
 		case rdf.Literal:
-			return b.Literal(l.Value), nil
+			n = b.Literal(l.Value)
 		default:
-			return b.Blank(fmt.Sprintf("e%d", e)), nil
+			n = b.Blank(fmt.Sprintf("e%d", e))
 		}
+		for int(n) >= len(entities) {
+			entities = append(entities, -1)
+		}
+		entities[n] = e
+		return n, nil
 	}
 	for _, row := range a.rows {
 		if !covers(row.Intervals, v) {
@@ -442,19 +460,97 @@ func (a *Archive) Snapshot(v int) (*rdf.Graph, error) {
 		}
 		s, err := node(row.S)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		p, err := node(row.P)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		o, err := node(row.O)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		b.Triple(s, p, o)
 	}
-	return b.Graph()
+	g, err := b.Graph()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, entities, nil
+}
+
+// CanAppend reports whether the archive carries the construction tail
+// AppendVersion extends. Freshly built archives can always append;
+// archives reconstructed from raw columns (FromRaw, i.e. snapshot loads)
+// cannot until RebuildTail restores the tail.
+func (a *Archive) CanAppend() bool { return a.tail != nil }
+
+// LatestGraph returns the newest archived version's graph without a
+// reconstruction when the construction tail is live, and nil otherwise
+// (use Snapshot(Versions()-1), or RebuildTail first).
+func (a *Archive) LatestGraph() *rdf.Graph {
+	if a.tail == nil {
+		return nil
+	}
+	return a.tail.lastGraph
+}
+
+// RebuildTail reconstructs the construction tail of an archive loaded from
+// raw columns, so AppendVersion works on snapshot-loaded archives: the
+// newest version's graph is reconstructed (Snapshot semantics — blank
+// nodes reappear under synthetic e<id> labels), its node→entity assignment
+// is recovered from the label runs, and the URI resume map is replayed
+// from every entity's URI runs. Appending to a rebuilt tail chains
+// entities exactly as appending to the original archive would: chaining
+// reads labels and structure, neither of which the snapshot round-trip
+// disturbs. RebuildTail on an archive that already has a tail is a no-op.
+func (a *Archive) RebuildTail() error {
+	if a.tail != nil {
+		return nil
+	}
+	last := a.versions - 1
+	g, entities, err := a.snapshotEntities(last)
+	if err != nil {
+		return err
+	}
+	cur := make([]EntityID, g.NumNodes())
+	for n := range cur {
+		cur[n] = -1
+		if n < len(entities) {
+			cur[n] = entities[n]
+		}
+	}
+	for n, e := range cur {
+		if e < 0 {
+			return fmt.Errorf("archive: rebuild tail: node %d of version %d has no entity", n, last)
+		}
+	}
+	// lastSeen maps each URI to the entity that most recently carried it:
+	// replaying noteURIs version by version is equivalent to taking, per
+	// URI, the run with the greatest end version (at any single version a
+	// URI labels at most one node, hence one entity).
+	lastSeen := make(map[string]EntityID)
+	lastTo := make(map[string]int)
+	for e, runs := range a.labels {
+		for _, run := range runs {
+			if run.label.Kind != rdf.URI {
+				continue
+			}
+			if to, ok := lastTo[run.label.Value]; !ok || run.iv.To > to {
+				lastTo[run.label.Value] = run.iv.To
+				lastSeen[run.label.Value] = EntityID(e)
+			}
+		}
+	}
+	// Raw-column loads also lack the row index recordVersion extends.
+	if a.rowIndex == nil {
+		a.rowIndex = make(map[[3]EntityID]int, len(a.rows))
+		for i, r := range a.rows {
+			a.rowIndex[[3]EntityID{r.S, r.P, r.O}] = i
+		}
+	}
+	a.tail = &archiveTail{lastGraph: g, cur: cur, lastSeen: lastSeen}
+	return nil
 }
 
 func covers(ivs []Interval, v int) bool {

@@ -1,0 +1,68 @@
+package server
+
+import "context"
+
+// Budget is the request-scoped worker budget of one server: two disjoint
+// semaphores, one for the query path and one for the alignment pool, so
+// that a long-running alignment can never starve read-only queries — a
+// query only ever waits behind other queries, and an alignment job only
+// behind other alignment jobs. Both pools hand out slots in FIFO-ish
+// channel order and respect context cancellation while waiting.
+type Budget struct {
+	query chan struct{}
+	align chan struct{}
+}
+
+// NewBudget sizes the two pools. Non-positive sizes fall back to 1.
+func NewBudget(querySlots, alignSlots int) *Budget {
+	if querySlots < 1 {
+		querySlots = 1
+	}
+	if alignSlots < 1 {
+		alignSlots = 1
+	}
+	return &Budget{
+		query: make(chan struct{}, querySlots),
+		align: make(chan struct{}, alignSlots),
+	}
+}
+
+// QuerySlots returns the query pool capacity.
+func (b *Budget) QuerySlots() int { return cap(b.query) }
+
+// AlignSlots returns the alignment pool capacity.
+func (b *Budget) AlignSlots() int { return cap(b.align) }
+
+// QueryActive returns the number of query slots currently held.
+func (b *Budget) QueryActive() int { return len(b.query) }
+
+// AlignActive returns the number of alignment slots currently held.
+func (b *Budget) AlignActive() int { return len(b.align) }
+
+// AcquireQuery takes a query slot, waiting until one frees or ctx is done.
+func (b *Budget) AcquireQuery(ctx context.Context) error { return acquire(ctx, b.query) }
+
+// ReleaseQuery returns a query slot.
+func (b *Budget) ReleaseQuery() { <-b.query }
+
+// AcquireAlign takes an alignment slot, waiting until one frees or ctx is
+// done.
+func (b *Budget) AcquireAlign(ctx context.Context) error { return acquire(ctx, b.align) }
+
+// ReleaseAlign returns an alignment slot.
+func (b *Budget) ReleaseAlign() { <-b.align }
+
+func acquire(ctx context.Context, sem chan struct{}) error {
+	// Fast path: a free slot wins even against an already-cancelled
+	// context is NOT acceptable here — respect cancellation first, as the
+	// caller is about to do work on ctx's behalf.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

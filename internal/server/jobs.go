@@ -1,0 +1,197 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"rdfalign"
+)
+
+// JobState is the lifecycle of an asynchronous alignment job.
+type JobState string
+
+const (
+	JobQueued   JobState = "queued"   // accepted, waiting for an alignment slot
+	JobRunning  JobState = "running"  // holding a slot, aligning
+	JobDone     JobState = "done"     // new head published
+	JobFailed   JobState = "failed"   // see Error / Status
+	JobCanceled JobState = "canceled" // canceled via DELETE /jobs/{id} or shutdown
+)
+
+// JobProgress is the most recent alignment progress event of a job,
+// reported through the session API's WithProgress hook.
+type JobProgress struct {
+	Stage string `json:"stage"`
+	Round int    `json:"round"`
+	Total int    `json:"total"`
+	Dirty int    `json:"dirty,omitempty"`
+}
+
+// JobInfo is the externally visible snapshot of a job, served by
+// GET /jobs and GET /jobs/{id}.
+type JobInfo struct {
+	ID       string       `json:"id"`
+	Archive  string       `json:"archive"`
+	Kind     string       `json:"kind"` // "version" or "delta"
+	State    JobState     `json:"state"`
+	Progress *JobProgress `json:"progress,omitempty"`
+	Version  int          `json:"version,omitempty"` // newest version after success
+	Error    string       `json:"error,omitempty"`
+	Status   int          `json:"-"` // HTTP status a failure maps to
+}
+
+// Job is one asynchronous upload or delta application. Its mutable state
+// is mutex-guarded; Info returns a consistent snapshot.
+type Job struct {
+	id      string
+	archive string
+	kind    string
+	cancel  context.CancelFunc
+	done    chan struct{}
+
+	mu       sync.Mutex
+	state    JobState
+	progress *JobProgress
+	version  int
+	err      string
+	status   int
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel aborts the job's context; the runner then reports it canceled.
+func (j *Job) Cancel() { j.cancel() }
+
+// observe is the job's session progress hook (rdfalign.ProgressFunc). The
+// alignment may invoke it from worker goroutines.
+func (j *Job) observe(p rdfalign.Progress) {
+	j.mu.Lock()
+	j.progress = &JobProgress{Stage: p.Stage, Round: p.Round, Total: p.Total, Dirty: p.Dirty}
+	j.mu.Unlock()
+}
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	if j.state == JobQueued {
+		j.state = JobRunning
+	}
+	j.mu.Unlock()
+}
+
+// finish marks success with the archive's new version count and releases
+// waiters.
+func (j *Job) finish(version int) {
+	j.mu.Lock()
+	j.state = JobDone
+	j.version = version
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// fail marks failure with the HTTP status the error maps to and releases
+// waiters. A context cancellation is reported as canceled, not failed.
+func (j *Job) fail(err error, status int) {
+	j.mu.Lock()
+	if err == context.Canceled {
+		j.state = JobCanceled
+	} else {
+		j.state = JobFailed
+	}
+	j.err = err.Error()
+	j.status = status
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// Info returns a consistent snapshot of the job.
+func (j *Job) Info() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := JobInfo{
+		ID:      j.id,
+		Archive: j.archive,
+		Kind:    j.kind,
+		State:   j.state,
+		Version: j.version,
+		Error:   j.err,
+		Status:  j.status,
+	}
+	if j.progress != nil {
+		p := *j.progress
+		info.Progress = &p
+	}
+	return info
+}
+
+// Jobs is the server's job table. Jobs are retained after completion so
+// clients can poll terminal states; the table lives as long as the server.
+type Jobs struct {
+	mu  sync.Mutex
+	seq int
+	m   map[string]*Job
+	ord []string
+}
+
+// NewJobs returns an empty job table.
+func NewJobs() *Jobs {
+	return &Jobs{m: make(map[string]*Job)}
+}
+
+// New registers a queued job for the named archive. cancel aborts the
+// job's context (DELETE /jobs/{id}).
+func (js *Jobs) New(archive, kind string, cancel context.CancelFunc) *Job {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	js.seq++
+	j := &Job{
+		id:      fmt.Sprintf("job-%d", js.seq),
+		archive: archive,
+		kind:    kind,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		state:   JobQueued,
+	}
+	js.m[j.id] = j
+	js.ord = append(js.ord, j.id)
+	return j
+}
+
+// Get returns the job with the given ID, or nil.
+func (js *Jobs) Get(id string) *Job {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return js.m[id]
+}
+
+// List returns snapshots of all jobs in submission order.
+func (js *Jobs) List() []JobInfo {
+	js.mu.Lock()
+	jobs := make([]*Job, 0, len(js.ord))
+	for _, id := range js.ord {
+		jobs = append(jobs, js.m[id])
+	}
+	js.mu.Unlock()
+	infos := make([]JobInfo, len(jobs))
+	for i, j := range jobs {
+		infos[i] = j.Info()
+	}
+	return infos
+}
+
+// CancelAll aborts every job still in flight (server shutdown).
+func (js *Jobs) CancelAll() {
+	js.mu.Lock()
+	jobs := make([]*Job, 0, len(js.m))
+	for _, j := range js.m {
+		jobs = append(jobs, j)
+	}
+	js.mu.Unlock()
+	for _, j := range jobs {
+		j.cancel()
+	}
+}

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestServerConcurrentQueriesDuringSwap hammers one registry entry with
+// parallel MatchesOf/Aligned/summary queries while versions are appended
+// and heads swapped underneath. Run with -race. It asserts that no reader
+// ever observes a torn head — every response is individually consistent
+// (the summary's target version always equals its version count minus
+// one, matches always decode) — and that a delta submitted against a
+// superseded head surfaces ErrStaleAlignment as HTTP 409.
+func TestServerConcurrentQueriesDuringSwap(t *testing.T) {
+	s := newTestServer(t, Config{AlignJobs: 1, QueryWorkers: 8})
+	if w := do(t, s, "PUT", "/archives/r", triplesV0, nil); w.Code != 201 {
+		t.Fatalf("PUT: %d", w.Code)
+	}
+	var job JobInfo
+	do(t, s, "POST", "/archives/r/versions", triplesV1, &job)
+	if info := waitJob(t, s, job.ID); info.State != JobDone {
+		t.Fatalf("setup: %+v", info)
+	}
+
+	stop := make(chan struct{})
+	var queries atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Summary: versions/target must be mutually consistent.
+				w := httptest.NewRecorder()
+				s.ServeHTTP(w, httptest.NewRequest("GET", "/archives/r", nil))
+				if w.Code != http.StatusOK {
+					t.Errorf("summary: %d %s", w.Code, w.Body)
+					return
+				}
+				var sum archiveSummary
+				if err := json.Unmarshal(w.Body.Bytes(), &sum); err != nil {
+					t.Errorf("summary decode: %v", err)
+					return
+				}
+				if sum.TargetVersion != sum.Versions-1 || !sum.Aligned {
+					t.Errorf("torn summary: %+v", sum)
+					return
+				}
+				// MatchesOf against the current head.
+				w = httptest.NewRecorder()
+				s.ServeHTTP(w, httptest.NewRequest("GET", "/archives/r/matches?uri=http://x/a", nil))
+				if w.Code != http.StatusOK {
+					t.Errorf("matches: %d %s", w.Code, w.Body)
+					return
+				}
+				var m struct {
+					Found   bool   `json:"found"`
+					Matches []Term `json:"matches"`
+				}
+				if err := json.Unmarshal(w.Body.Bytes(), &m); err != nil {
+					t.Errorf("matches decode: %v", err)
+					return
+				}
+				if !m.Found || len(m.Matches) == 0 {
+					t.Errorf("torn matches: %+v", m)
+					return
+				}
+				// Aligned relation query.
+				w = httptest.NewRecorder()
+				s.ServeHTTP(w, httptest.NewRequest("GET", "/archives/r/aligned?source=http://x/a&target=http://x/a", nil))
+				if w.Code != http.StatusOK {
+					t.Errorf("aligned: %d %s", w.Code, w.Body)
+					return
+				}
+				queries.Add(1)
+			}
+		}()
+	}
+
+	// Writer: append versions (alternating graph uploads and deltas),
+	// swapping the head under the readers.
+	docs := []string{
+		triplesV1 + "<http://x/e> <http://x/p> \"eps\" .\n",
+		"+ <http://x/f> <http://x/p> \"zeta\" .\n",
+		triplesV1 + "<http://x/g> <http://x/p> \"eta\" .\n",
+		"+ <http://x/h> <http://x/p> \"theta\" .\n",
+	}
+	for i, doc := range docs {
+		path, kind := "/archives/r/versions", "version"
+		if strings.HasPrefix(doc, "+") {
+			path, kind = "/archives/r/deltas", "delta"
+		}
+		var j JobInfo
+		if w := do(t, s, "POST", path, doc, &j); w.Code != http.StatusAccepted {
+			t.Fatalf("append %d: %d %s", i, w.Code, w.Body)
+		}
+		if info := waitJob(t, s, j.ID); info.State != JobDone {
+			t.Fatalf("append %d (%s): %+v", i, kind, info)
+		}
+	}
+	// On a loaded (or single-core) box the appends can outpace the reader
+	// goroutines; let the readers observe the final head before stopping
+	// so the consistency assertions always run.
+	deadline := time.Now().Add(10 * time.Second)
+	for queries.Load() < 8 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if queries.Load() == 0 {
+		t.Fatal("no queries completed during the swaps")
+	}
+
+	var sum archiveSummary
+	do(t, s, "GET", "/archives/r", "", &sum)
+	if sum.Versions != 6 {
+		t.Fatalf("final version count: %+v", sum)
+	}
+
+	// A delta captured against a now-superseded head must 409: hold the
+	// slot, queue two deltas against the same head, let them race.
+	if err := s.budget.AcquireAlign(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var j1, j2 JobInfo
+	do(t, s, "POST", "/archives/r/deltas", "+ <http://x/i> <http://x/p> \"iota\" .\n", &j1)
+	do(t, s, "POST", "/archives/r/deltas", "+ <http://x/k> <http://x/p> \"kappa\" .\n", &j2)
+	s.budget.ReleaseAlign()
+	i1, i2 := waitJob(t, s, j1.ID), waitJob(t, s, j2.ID)
+	lost := i2
+	if i2.State == JobDone {
+		lost = i1
+	}
+	if lost.State != JobFailed || lost.Status != http.StatusConflict {
+		t.Fatalf("stale delta should 409: %+v / %+v", i1, i2)
+	}
+}
+
+func TestBudgetSplit(t *testing.T) {
+	b := NewBudget(2, 1)
+	if b.QuerySlots() != 2 || b.AlignSlots() != 1 {
+		t.Fatalf("slots: %d/%d", b.QuerySlots(), b.AlignSlots())
+	}
+	ctx := context.Background()
+	// Exhausting the align pool must not affect query acquisition.
+	if err := b.AcquireAlign(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AcquireQuery(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AcquireQuery(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if b.QueryActive() != 2 || b.AlignActive() != 1 {
+		t.Fatalf("active: %d/%d", b.QueryActive(), b.AlignActive())
+	}
+	// A full pool respects the context deadline.
+	short, cancel := context.WithTimeout(ctx, 10*time.Millisecond)
+	defer cancel()
+	if err := b.AcquireQuery(short); err == nil {
+		t.Fatal("acquire on full pool should time out")
+	}
+	// An already-cancelled context never acquires, even with free slots.
+	done, cancel2 := context.WithCancel(ctx)
+	cancel2()
+	b.ReleaseQuery()
+	if err := b.AcquireQuery(done); err == nil {
+		t.Fatal("acquire with cancelled context should fail")
+	}
+	b.ReleaseQuery()
+	b.ReleaseAlign()
+	if b.QueryActive() != 0 || b.AlignActive() != 0 {
+		t.Fatalf("release: %d/%d", b.QueryActive(), b.AlignActive())
+	}
+}
+
+func TestBudgetClamp(t *testing.T) {
+	b := NewBudget(0, -3)
+	if b.QuerySlots() != 1 || b.AlignSlots() != 1 {
+		t.Fatalf("clamp: %d/%d", b.QuerySlots(), b.AlignSlots())
+	}
+}

@@ -1,0 +1,423 @@
+// Package server implements the resident-archive alignment service behind
+// cmd/rdfalignd: archives loaded from binary snapshots are kept in memory,
+// read-only relation queries (aligned / distance / matches /
+// resolve-across-versions / stats / versions) are served concurrently from
+// an immutable published head, and new versions or delta scripts are
+// aligned asynchronously through the session API (Aligner, ApplyDelta,
+// AppendVersion) by a job pool whose worker budget is disjoint from the
+// query path, so one huge alignment can never starve queries.
+//
+// Concurrency model: every archive is one registry entry holding an
+// atomic pointer to its current head — the archive columns, the newest
+// version's graph, and the live alignment session (anchor version →
+// newest version). A head is immutable once published (its lazy caches
+// are sync.Once-guarded), so readers loading the pointer always see a
+// consistent snapshot and never a torn state. Writers (version uploads,
+// delta applications) build a new head on a cloned archive and publish it
+// with one atomic swap, serialised per entry; a delta job that lost the
+// race surfaces the session's ErrStaleAlignment as ErrConflict (HTTP 409).
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"rdfalign"
+	"rdfalign/internal/archive"
+	"rdfalign/internal/rdf"
+	"rdfalign/internal/snapshot"
+)
+
+// Sentinel errors, mapped onto HTTP statuses by the handlers.
+var (
+	// ErrNotFound reports a name with no registry entry (HTTP 404).
+	ErrNotFound = errors.New("server: archive not found")
+	// ErrConflict reports an update that lost a concurrent race: the
+	// alignment session it was based on is no longer the newest version
+	// (the session API's ErrStaleAlignment), or its base head was
+	// superseded while it waited for an alignment slot (HTTP 409).
+	ErrConflict = errors.New("server: conflicting concurrent update")
+	// ErrNoAlignment reports a relation query against an archive whose
+	// head has no aligned pair yet (a single-version archive; HTTP 409).
+	ErrNoAlignment = errors.New("server: archive has a single version; no aligned pair to query yet")
+	// ErrExists reports a create over an existing archive without
+	// replace semantics (HTTP 409).
+	ErrExists = errors.New("server: archive already exists")
+	// ErrBadDelta reports an edit script that does not apply to the
+	// version it was submitted against (HTTP 400).
+	ErrBadDelta = errors.New("server: delta does not apply")
+)
+
+// VersionInfo summarises one archived version for the /versions endpoint.
+type VersionInfo struct {
+	Version int `json:"version"`
+	Nodes   int `json:"nodes"`
+	Triples int `json:"triples"`
+}
+
+// head is one published state of an archive: immutable after publication,
+// safe for any number of concurrent readers. The lazy caches (URI
+// indexes, per-version entity indexes, stats) are sync.Once-guarded so
+// the first query of each kind builds them and later queries share them.
+type head struct {
+	arch *archive.Archive
+	// anchorVersion/latest describe the live alignment session: align is
+	// the maintained alignment anchorVersion → version-1 (the newest
+	// version), nil while the archive has a single version. Delta
+	// applications advance the session target and keep the anchor
+	// (ApplyDelta maintenance); full graph uploads re-anchor at the
+	// previously newest version.
+	anchorVersion int
+	anchor        *rdfalign.Graph
+	latest        *rdfalign.Graph
+	align         *rdfalign.Alignment
+	version       int // == arch.Versions()
+
+	statsOnce sync.Once
+	stats     rdfalign.ArchiveStats
+
+	versionsOnce sync.Once
+	versionInfos []VersionInfo
+
+	uriOnce   sync.Once
+	anchorURI map[string]rdfalign.NodeID
+	latestURI map[string]rdfalign.NodeID
+	entOnce   []sync.Once
+	entIdx    []map[string]archive.EntityID
+	entIdxMu  sync.Mutex // guards entIdx slot writes (entOnce serialises per slot)
+}
+
+// Stats returns the archive statistics, computed once per head.
+func (h *head) Stats() rdfalign.ArchiveStats {
+	h.statsOnce.Do(func() { h.stats = h.arch.GatherStats() })
+	return h.stats
+}
+
+// VersionInfos returns per-version node/triple counts, computed once per
+// head from the label runs and row intervals.
+func (h *head) VersionInfos() []VersionInfo {
+	h.versionsOnce.Do(func() {
+		infos := make([]VersionInfo, h.version)
+		for v := range infos {
+			infos[v].Version = v
+		}
+		for e := 0; e < h.arch.NumEntities(); e++ {
+			for v := 0; v < h.version; v++ {
+				if _, ok := h.arch.LabelAt(archive.EntityID(e), v); ok {
+					infos[v].Nodes++
+				}
+			}
+		}
+		for _, row := range h.arch.Rows() {
+			for _, iv := range row.Intervals {
+				for v := iv.From; v <= iv.To; v++ {
+					infos[v].Triples++
+				}
+			}
+		}
+		h.versionInfos = infos
+	})
+	return h.versionInfos
+}
+
+// buildURIIndexes indexes URI labels of the aligned pair's graphs;
+// Graph.FindURI is a linear scan, far too slow for the query path.
+func (h *head) buildURIIndexes() {
+	h.uriOnce.Do(func() {
+		index := func(g *rdfalign.Graph) map[string]rdfalign.NodeID {
+			if g == nil {
+				return nil
+			}
+			m := make(map[string]rdfalign.NodeID, g.NumURIs())
+			g.Nodes(func(n rdfalign.NodeID) {
+				if g.IsURI(n) {
+					m[g.Label(n).Value] = n
+				}
+			})
+			return m
+		}
+		h.anchorURI = index(h.anchor)
+		h.latestURI = index(h.latest)
+	})
+}
+
+// findAnchor resolves a URI in the alignment's source (anchor) graph.
+func (h *head) findAnchor(uri string) (rdfalign.NodeID, bool) {
+	h.buildURIIndexes()
+	n, ok := h.anchorURI[uri]
+	return n, ok
+}
+
+// findLatest resolves a URI in the alignment's target (newest) graph.
+func (h *head) findLatest(uri string) (rdfalign.NodeID, bool) {
+	h.buildURIIndexes()
+	n, ok := h.latestURI[uri]
+	return n, ok
+}
+
+// entityAt resolves a URI to its entity at version v, building the
+// per-version index on first use.
+func (h *head) entityAt(v int, uri string) (archive.EntityID, bool) {
+	if v < 0 || v >= h.version {
+		return 0, false
+	}
+	h.entOnce[v].Do(func() {
+		idx := make(map[string]archive.EntityID)
+		for e := 0; e < h.arch.NumEntities(); e++ {
+			if l, ok := h.arch.LabelAt(archive.EntityID(e), v); ok && l.Kind == rdf.URI {
+				idx[l.Value] = archive.EntityID(e)
+			}
+		}
+		h.entIdxMu.Lock()
+		h.entIdx[v] = idx
+		h.entIdxMu.Unlock()
+	})
+	h.entIdxMu.Lock()
+	idx := h.entIdx[v]
+	h.entIdxMu.Unlock()
+	e, ok := idx[uri]
+	return e, ok
+}
+
+// progressFunc observes alignment progress (rdfalign.ProgressFunc shape).
+type progressFunc func(rdfalign.Progress)
+
+// entry is one registered archive: the atomically-published head plus the
+// entry-scoped alignment session and the mutex serialising updates.
+type entry struct {
+	name string
+	// al is the entry's aligner: the server's base options plus progress
+	// routing to the entry's current sink (the running job). All aligns
+	// and delta maintenances of this entry run through it, so a published
+	// head's alignment can always be advanced by a later ApplyDelta.
+	al   *rdfalign.Aligner
+	sink atomic.Pointer[progressFunc]
+	head atomic.Pointer[head]
+	// appendMu serialises head publications (uploads, deltas). Queries
+	// never take it.
+	appendMu sync.Mutex
+}
+
+func (e *entry) observe(p rdfalign.Progress) {
+	if f := e.sink.Load(); f != nil {
+		(*f)(p)
+	}
+}
+
+// setSink routes the entry's alignment progress to f (nil to detach).
+func (e *entry) setSink(f progressFunc) {
+	if f == nil {
+		e.sink.Store(nil)
+		return
+	}
+	e.sink.Store(&f)
+}
+
+// Registry holds the resident archives.
+type Registry struct {
+	base *rdfalign.Aligner
+	mu   sync.RWMutex
+	m    map[string]*entry
+}
+
+// NewRegistry returns an empty registry whose entries derive their
+// alignment sessions from base.
+func NewRegistry(base *rdfalign.Aligner) *Registry {
+	return &Registry{base: base, m: make(map[string]*entry)}
+}
+
+// Names returns the registered archive names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.m))
+	for n := range r.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Head returns the current head of the named archive.
+func (r *Registry) Head(name string) (*head, error) {
+	e, err := r.entry(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.head.Load(), nil
+}
+
+func (r *Registry) entry(name string) (*entry, error) {
+	r.mu.RLock()
+	e := r.m[name]
+	r.mu.RUnlock()
+	if e == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return e, nil
+}
+
+// newHead assembles and caches the derived-state shell around an archive
+// state. Callers publish the result with entry.head.Store.
+func newHead(arch *archive.Archive, anchorVersion int, anchor, latest *rdfalign.Graph, align *rdfalign.Alignment) *head {
+	v := arch.Versions()
+	return &head{
+		arch:          arch,
+		anchorVersion: anchorVersion,
+		anchor:        anchor,
+		latest:        latest,
+		align:         align,
+		version:       v,
+		entOnce:       make([]sync.Once, v),
+		entIdx:        make([]map[string]archive.EntityID, v),
+	}
+}
+
+// Create registers an archive under name and publishes its first head.
+// The archive must be appendable (RebuildTail has run if it was loaded
+// from a snapshot); when it has at least two versions the newest
+// consecutive pair is aligned through the entry's session, so relation
+// queries work immediately. With replace set an existing entry is
+// atomically superseded; otherwise an existing name is ErrExists.
+func (r *Registry) Create(ctx context.Context, name string, arch *archive.Archive, replace bool) error {
+	if !arch.CanAppend() {
+		if err := arch.RebuildTail(); err != nil {
+			return fmt.Errorf("server: load %q: %w", name, err)
+		}
+	}
+	e := &entry{name: name}
+	eal, err := r.base.With(rdfalign.WithProgress(e.observe))
+	if err != nil {
+		return err
+	}
+	e.al = eal
+
+	latest := arch.LatestGraph()
+	var (
+		anchor        *rdfalign.Graph
+		align         *rdfalign.Alignment
+		anchorVersion = arch.Versions() - 1
+	)
+	if arch.Versions() >= 2 {
+		anchorVersion = arch.Versions() - 2
+		if anchor, err = arch.Snapshot(anchorVersion); err != nil {
+			return fmt.Errorf("server: load %q: %w", name, err)
+		}
+		if align, err = eal.Align(ctx, anchor, latest); err != nil {
+			return fmt.Errorf("server: align %q head pair: %w", name, err)
+		}
+	}
+	e.head.Store(newHead(arch, anchorVersion, anchor, latest, align))
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.m[name]; ok && !replace {
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	r.m[name] = e
+	return nil
+}
+
+// AppendGraph aligns g as a new version of the named archive and
+// publishes the new head: the session re-anchors at the previously newest
+// version, the archive is extended on a clone (AppendVersion), and the
+// swap is atomic. sink, when non-nil, observes the alignment progress.
+func (r *Registry) AppendGraph(ctx context.Context, name string, g *rdfalign.Graph, sink progressFunc) (*head, error) {
+	e, err := r.entry(name)
+	if err != nil {
+		return nil, err
+	}
+	e.appendMu.Lock()
+	defer e.appendMu.Unlock()
+	e.setSink(sink)
+	defer e.setSink(nil)
+
+	cur := e.head.Load()
+	align, err := e.al.Align(ctx, cur.latest, g)
+	if err != nil {
+		return nil, err
+	}
+	arch2 := cur.arch.Clone()
+	if _, err := e.al.AppendVersion(ctx, arch2, g, nil); err != nil {
+		return nil, err
+	}
+	h := newHead(arch2, cur.version-1, cur.latest, g, align)
+	e.head.Store(h)
+	return h, nil
+}
+
+// AppendDelta applies an edit script to the head captured at submission
+// time: the session alignment is maintained in place (ApplyDelta — cost
+// proportional to the edit), the archive is extended on a clone, and the
+// new head is published atomically. A captured head that is no longer
+// current fails with ErrConflict: deltas are authored against a specific
+// version, so a lost race must surface instead of applying to a different
+// base — when a concurrent delta advanced the same session lineage, that
+// is exactly the session API's ErrStaleAlignment.
+func (r *Registry) AppendDelta(ctx context.Context, name string, captured *head, script *rdfalign.EditScript, sink progressFunc) (*head, error) {
+	e, err := r.entry(name)
+	if err != nil {
+		return nil, err
+	}
+	e.appendMu.Lock()
+	defer e.appendMu.Unlock()
+	e.setSink(sink)
+	defer e.setSink(nil)
+
+	cur := e.head.Load()
+	if captured.align == nil {
+		// No live pair to maintain: apply the script directly and treat
+		// the result as a fresh version upload.
+		if cur != captured {
+			return nil, fmt.Errorf("%w: archive %q advanced past the delta's base version %d", ErrConflict, name, captured.version-1)
+		}
+		g2, err := rdfalign.ApplyEditScript(captured.latest, script)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadDelta, err)
+		}
+		align, err := e.al.Align(ctx, captured.latest, g2)
+		if err != nil {
+			return nil, err
+		}
+		arch2 := cur.arch.Clone()
+		if _, err := e.al.AppendVersion(ctx, arch2, g2, nil); err != nil {
+			return nil, err
+		}
+		h := newHead(arch2, cur.version-1, captured.latest, g2, align)
+		e.head.Store(h)
+		return h, nil
+	}
+
+	// Maintain the captured session. If a concurrent delta advanced the
+	// lineage first, ApplyDelta version-gates it: ErrStaleAlignment.
+	a2, err := captured.align.ApplyDelta(ctx, script)
+	if errors.Is(err, rdfalign.ErrStaleAlignment) {
+		return nil, fmt.Errorf("%w: %v", ErrConflict, err)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadDelta, err)
+	}
+	// A full graph upload replaces the session instead of advancing it;
+	// the maintained result would extend a superseded archive state.
+	if cur != captured {
+		return nil, fmt.Errorf("%w: archive %q was replaced past the delta's base version %d", ErrConflict, name, captured.version-1)
+	}
+	arch2 := cur.arch.Clone()
+	if _, err := e.al.AppendVersion(ctx, arch2, a2.Target(), nil); err != nil {
+		return nil, err
+	}
+	h := newHead(arch2, captured.anchorVersion, captured.anchor, a2.Target(), a2)
+	e.head.Store(h)
+	return h, nil
+}
+
+// detectSnapshot reports whether data starts with the snapshot container
+// magic.
+func detectSnapshot(data []byte) bool {
+	return bytes.HasPrefix(data, []byte(snapshot.Magic))
+}

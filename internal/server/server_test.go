@@ -1,0 +1,380 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rdfalign"
+)
+
+const (
+	triplesV0 = `<http://x/a> <http://x/p> "alpha" .
+<http://x/b> <http://x/p> "beta" .
+<http://x/a> <http://x/q> <http://x/b> .
+`
+	triplesV1 = `<http://x/a> <http://x/p> "alpha" .
+<http://x/b> <http://x/p> "beta" .
+<http://x/a> <http://x/q> <http://x/b> .
+<http://x/c> <http://x/p> "gamma" .
+`
+	deltaV2 = `+ <http://x/d> <http://x/p> "delta" .
+`
+)
+
+func newTestServer(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// do runs one in-process request and decodes a JSON body.
+func do(t testing.TB, s *Server, method, path, body string, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	var r *http.Request
+	if body != "" {
+		r = httptest.NewRequest(method, path, strings.NewReader(body))
+	} else {
+		r = httptest.NewRequest(method, path, nil)
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	if out != nil {
+		if err := json.Unmarshal(w.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: decode %q: %v", method, path, w.Body.String(), err)
+		}
+	}
+	return w
+}
+
+// waitJob polls a job ID to a terminal state and returns its final info.
+func waitJob(t testing.TB, s *Server, id string) JobInfo {
+	t.Helper()
+	j := s.jobs.Get(id)
+	if j == nil {
+		t.Fatalf("no job %q", id)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s did not finish", id)
+	}
+	return j.Info()
+}
+
+func TestServerLifecycle(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	// Empty server.
+	var health map[string]any
+	if w := do(t, s, "GET", "/healthz", "", &health); w.Code != 200 {
+		t.Fatalf("healthz: %d", w.Code)
+	}
+	if health["status"] != "ok" {
+		t.Fatalf("healthz body: %v", health)
+	}
+	if w := do(t, s, "GET", "/archives/nope", "", nil); w.Code != 404 {
+		t.Fatalf("missing archive: got %d, want 404", w.Code)
+	}
+
+	// PUT an N-Triples body: one-version archive, no aligned pair yet.
+	var sum archiveSummary
+	if w := do(t, s, "PUT", "/archives/test", triplesV0, &sum); w.Code != 201 {
+		t.Fatalf("PUT: %d %s", w.Code, w.Body)
+	}
+	if sum.Versions != 1 || sum.Aligned {
+		t.Fatalf("after PUT: %+v", sum)
+	}
+	if w := do(t, s, "GET", "/archives/test/aligned?source=http://x/a&target=http://x/a", "", nil); w.Code != 409 {
+		t.Fatalf("aligned on single version: got %d, want 409", w.Code)
+	}
+
+	// POST a second version asynchronously.
+	var job JobInfo
+	if w := do(t, s, "POST", "/archives/test/versions", triplesV1, &job); w.Code != 202 {
+		t.Fatalf("POST version: %d %s", w.Code, w.Body)
+	}
+	if info := waitJob(t, s, job.ID); info.State != JobDone || info.Version != 2 {
+		t.Fatalf("version job: %+v", info)
+	}
+	do(t, s, "GET", "/archives/test", "", &sum)
+	if sum.Versions != 2 || !sum.Aligned || sum.AnchorVersion != 0 || sum.TargetVersion != 1 {
+		t.Fatalf("after version job: %+v", sum)
+	}
+
+	// Relation queries over the aligned pair.
+	var al struct {
+		SourceFound bool `json:"source_found"`
+		TargetFound bool `json:"target_found"`
+		Aligned     bool `json:"aligned"`
+	}
+	do(t, s, "GET", "/archives/test/aligned?source=http://x/a&target=http://x/a", "", &al)
+	if !al.SourceFound || !al.TargetFound || !al.Aligned {
+		t.Fatalf("aligned: %+v", al)
+	}
+	var dist struct {
+		Distance *float64 `json:"distance"`
+	}
+	do(t, s, "GET", "/archives/test/distance?source=http://x/a&target=http://x/a", "", &dist)
+	if dist.Distance == nil || *dist.Distance != 0 {
+		t.Fatalf("distance: %+v", dist)
+	}
+	var matches struct {
+		Found   bool   `json:"found"`
+		Matches []Term `json:"matches"`
+	}
+	do(t, s, "GET", "/archives/test/matches?uri=http://x/b", "", &matches)
+	if !matches.Found || len(matches.Matches) == 0 {
+		t.Fatalf("matches: %+v", matches)
+	}
+	found := false
+	for _, m := range matches.Matches {
+		if m.Kind == "uri" && m.Value == "http://x/b" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("matches of b missing b: %+v", matches.Matches)
+	}
+	do(t, s, "GET", "/archives/test/matches?uri=http://x/unknown", "", &matches)
+	if matches.Found {
+		t.Fatalf("unknown uri reported found")
+	}
+
+	// Resolve across versions through entity chains.
+	var res struct {
+		Found   bool  `json:"found"`
+		Present bool  `json:"present"`
+		Label   *Term `json:"label"`
+	}
+	do(t, s, "GET", "/archives/test/resolve?uri=http://x/a&from=0&to=1", "", &res)
+	if !res.Found || !res.Present || res.Label == nil || res.Label.Value != "http://x/a" {
+		t.Fatalf("resolve: %+v", res)
+	}
+
+	// Stats and version listings.
+	var stats rdfalign.ArchiveStats
+	do(t, s, "GET", "/archives/test/stats", "", &stats)
+	if stats.Versions != 2 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	var vers struct {
+		Versions    []VersionInfo  `json:"versions"`
+		AlignedPair map[string]int `json:"aligned_pair"`
+	}
+	do(t, s, "GET", "/archives/test/versions", "", &vers)
+	if len(vers.Versions) != 2 || vers.Versions[1].Triples != 4 {
+		t.Fatalf("versions: %+v", vers)
+	}
+	if vers.AlignedPair["source"] != 0 || vers.AlignedPair["target"] != 1 {
+		t.Fatalf("aligned_pair: %+v", vers.AlignedPair)
+	}
+	w := do(t, s, "GET", "/archives/test/versions/0", "", nil)
+	if w.Code != 200 || !strings.Contains(w.Body.String(), "<http://x/a>") {
+		t.Fatalf("download v0: %d %q", w.Code, w.Body.String())
+	}
+	if g, err := rdfalign.ParseNTriplesString(w.Body.String(), "v0"); err != nil || g.NumTriples() != 3 {
+		t.Fatalf("download v0 reparse: %v", err)
+	}
+
+	// Delta application advances the session target; the anchor stays.
+	if w := do(t, s, "POST", "/archives/test/deltas", deltaV2, &job); w.Code != 202 {
+		t.Fatalf("POST delta: %d %s", w.Code, w.Body)
+	}
+	if info := waitJob(t, s, job.ID); info.State != JobDone || info.Version != 3 {
+		t.Fatalf("delta job: %+v", info)
+	}
+	do(t, s, "GET", "/archives/test", "", &sum)
+	if sum.Versions != 3 || sum.AnchorVersion != 0 || sum.TargetVersion != 2 {
+		t.Fatalf("after delta: %+v", sum)
+	}
+	do(t, s, "GET", "/archives/test/resolve?uri=http://x/d&from=2&to=2", "", &res)
+	if !res.Found {
+		t.Fatalf("inserted entity not resolvable: %+v", res)
+	}
+
+	// Jobs listing and cancellation of unknown jobs.
+	var jobs struct {
+		Jobs []JobInfo `json:"jobs"`
+	}
+	do(t, s, "GET", "/jobs", "", &jobs)
+	if len(jobs.Jobs) != 2 {
+		t.Fatalf("jobs: %+v", jobs)
+	}
+	if w := do(t, s, "DELETE", "/jobs/job-99", "", nil); w.Code != 404 {
+		t.Fatalf("cancel unknown job: %d", w.Code)
+	}
+
+	// A malformed delta is a synchronous 400.
+	if w := do(t, s, "POST", "/archives/test/deltas", "not a script", nil); w.Code != 400 {
+		t.Fatalf("bad delta: %d", w.Code)
+	}
+	// A delta deleting a missing triple fails its job with 400.
+	do(t, s, "POST", "/archives/test/deltas", "- <http://x/none> <http://x/p> \"x\" .\n", &job)
+	if info := waitJob(t, s, job.ID); info.State != JobFailed || info.Status != 400 {
+		t.Fatalf("inapplicable delta: %+v", info)
+	}
+	if w := do(t, s, "GET", "/jobs/"+job.ID, "", nil); w.Code != 400 {
+		t.Fatalf("failed job status: %d", w.Code)
+	}
+}
+
+func TestServerSnapshotLoading(t *testing.T) {
+	dir := t.TempDir()
+	g0 := mustParse(t, triplesV0, "v0")
+	g1 := mustParse(t, triplesV1, "v1")
+	al, err := rdfalign.NewAligner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch, err := al.BuildArchive(context.Background(), []*rdfalign.Graph{g0, g1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	archPath := filepath.Join(dir, "arch.snap")
+	if err := rdfalign.WriteArchiveSnapshotFile(archPath, arch); err != nil {
+		t.Fatal(err)
+	}
+	graphPath := filepath.Join(dir, "graph.snap")
+	if err := rdfalign.WriteGraphSnapshotFile(graphPath, g0); err != nil {
+		t.Fatal(err)
+	}
+
+	s := newTestServer(t, Config{})
+	if err := s.LoadSnapshotFile(context.Background(), "arch", archPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadSnapshotFile(context.Background(), "graph", graphPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadSnapshotFile(context.Background(), "arch", archPath); err == nil {
+		t.Fatal("duplicate load should fail")
+	}
+
+	// The archive snapshot is resident with its newest pair aligned, and
+	// appendable: a delta applies on top of the rebuilt tail.
+	var sum archiveSummary
+	do(t, s, "GET", "/archives/arch", "", &sum)
+	if sum.Versions != 2 || !sum.Aligned {
+		t.Fatalf("loaded archive: %+v", sum)
+	}
+	var job JobInfo
+	if w := do(t, s, "POST", "/archives/arch/deltas", deltaV2, &job); w.Code != 202 {
+		t.Fatalf("POST delta: %d %s", w.Code, w.Body)
+	}
+	if info := waitJob(t, s, job.ID); info.State != JobDone || info.Version != 3 {
+		t.Fatalf("delta on loaded archive: %+v", info)
+	}
+
+	// The graph snapshot became a single-version archive.
+	do(t, s, "GET", "/archives/graph", "", &sum)
+	if sum.Versions != 1 || sum.Aligned {
+		t.Fatalf("loaded graph: %+v", sum)
+	}
+
+	var names struct {
+		Archives []archiveSummary `json:"archives"`
+	}
+	do(t, s, "GET", "/archives", "", &names)
+	if len(names.Archives) != 2 {
+		t.Fatalf("archive list: %+v", names)
+	}
+}
+
+func TestServerDeltaConflict(t *testing.T) {
+	s := newTestServer(t, Config{AlignJobs: 1})
+	var sum archiveSummary
+	if w := do(t, s, "PUT", "/archives/c", triplesV0, &sum); w.Code != 201 {
+		t.Fatalf("PUT: %d", w.Code)
+	}
+	var job JobInfo
+	do(t, s, "POST", "/archives/c/versions", triplesV1, &job)
+	if info := waitJob(t, s, job.ID); info.State != JobDone {
+		t.Fatalf("setup version: %+v", info)
+	}
+
+	// Hold the only alignment slot so both deltas are captured against
+	// the same head before either runs.
+	if err := s.budget.AcquireAlign(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var j1, j2 JobInfo
+	do(t, s, "POST", "/archives/c/deltas", "+ <http://x/e> <http://x/p> \"one\" .\n", &j1)
+	do(t, s, "POST", "/archives/c/deltas", "+ <http://x/f> <http://x/p> \"two\" .\n", &j2)
+	s.budget.ReleaseAlign()
+
+	// The queued jobs acquire the freed slot in either order; exactly one
+	// must win and the loser must surface the stale session as a 409.
+	i1, i2 := waitJob(t, s, j1.ID), waitJob(t, s, j2.ID)
+	won, lost := i1, i2
+	if i2.State == JobDone {
+		won, lost = i2, i1
+	}
+	if won.State != JobDone || won.Version != 3 {
+		t.Fatalf("winning delta: %+v", won)
+	}
+	if lost.State != JobFailed || lost.Status != 409 {
+		t.Fatalf("losing delta should fail with 409: %+v", lost)
+	}
+	if w := do(t, s, "GET", "/jobs/"+lost.ID, "", nil); w.Code != 409 {
+		t.Fatalf("lost job surfaced as %d, want 409", w.Code)
+	}
+	if !strings.Contains(lost.Error, "conflict") {
+		t.Fatalf("conflict error text: %q", lost.Error)
+	}
+}
+
+func TestServerJobCancellation(t *testing.T) {
+	s := newTestServer(t, Config{AlignJobs: 1})
+	var sum archiveSummary
+	if w := do(t, s, "PUT", "/archives/c", triplesV0, &sum); w.Code != 201 {
+		t.Fatalf("PUT: %d", w.Code)
+	}
+	// Hold the slot so the job stays queued, then cancel it.
+	if err := s.budget.AcquireAlign(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var job JobInfo
+	do(t, s, "POST", "/archives/c/versions", triplesV1, &job)
+	if w := do(t, s, "DELETE", "/jobs/"+job.ID, "", nil); w.Code != 200 {
+		t.Fatalf("cancel: %d", w.Code)
+	}
+	info := waitJob(t, s, job.ID)
+	s.budget.ReleaseAlign()
+	if info.State != JobCanceled {
+		t.Fatalf("canceled job: %+v", info)
+	}
+	var sum2 archiveSummary
+	do(t, s, "GET", "/archives/c", "", &sum2)
+	if sum2.Versions != 1 {
+		t.Fatalf("canceled job mutated the archive: %+v", sum2)
+	}
+}
+
+func mustParse(t testing.TB, doc, name string) *rdfalign.Graph {
+	t.Helper()
+	g, err := rdfalign.ParseNTriplesString(doc, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mustStream(t testing.TB, cfg rdfalign.StreamConfig) *rdfalign.Graph {
+	t.Helper()
+	var sb strings.Builder
+	if _, err := rdfalign.StreamNTriples(&sb, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return mustParse(t, sb.String(), fmt.Sprintf("stream-v%d", cfg.Version))
+}

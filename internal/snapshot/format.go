@@ -51,6 +51,11 @@ import (
 // FormatVersion is the current on-disk format version.
 const FormatVersion = 1
 
+// Magic is the leading byte sequence of every snapshot file; callers that
+// sniff request bodies or files use it to distinguish snapshots from text
+// formats before committing to a full parse.
+const Magic = headerMagic
+
 const (
 	headerMagic  = "RDSNAP"
 	trailerMagic = "RDSNAPFT"

@@ -46,6 +46,23 @@ func ReadGraph(r io.Reader) (*rdf.Graph, error) {
 	return g, nil
 }
 
+// ReadGraphAt loads a graph snapshot through the footer table of r — the
+// random-access counterpart of ReadGraph. Long-lived services (OpenSnapshot,
+// cmd/rdfalignd) serve graph and archive snapshots alike from one
+// io.ReaderAt-backed handle; only the header, footer and the graph section
+// are read.
+func ReadGraphAt(r io.ReaderAt, size int64) (*rdf.Graph, error) {
+	f, err := openReaderAt(r, size)
+	if err != nil {
+		return nil, err
+	}
+	c, err := f.section(secGraph, 0)
+	if err != nil {
+		return nil, err
+	}
+	return decodeGraphBody(c)
+}
+
 // ReadGraphFile reads a graph snapshot from path.
 func ReadGraphFile(path string) (*rdf.Graph, error) {
 	f, err := os.Open(path)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strings"
 
 	"rdfalign/internal/core"
 	"rdfalign/internal/rdf"
@@ -111,6 +112,12 @@ const (
 	SigmaEdit
 )
 
+// Methods lists every alignment method, in declaration order. The slice is
+// freshly allocated on each call.
+func Methods() []Method {
+	return []Method{Trivial, Deblank, Hybrid, Overlap, SigmaEdit}
+}
+
 // String names the method.
 func (m Method) String() string {
 	switch m {
@@ -129,17 +136,46 @@ func (m Method) String() string {
 	}
 }
 
-// ParseMethod converts a method name to a Method.
+// ParseMethod converts a method name to a Method. Matching is
+// case-insensitive, so the names round-trip through contexts that fold
+// case (HTTP headers, JSON produced by other tools): for every method m,
+// ParseMethod(m.String()) == m.
 func ParseMethod(s string) (Method, error) {
-	for _, m := range []Method{Trivial, Deblank, Hybrid, Overlap, SigmaEdit} {
-		if m.String() == s {
+	names := make([]string, 0, 5)
+	for _, m := range Methods() {
+		if strings.EqualFold(m.String(), s) {
 			return m, nil
 		}
+		names = append(names, m.String())
 	}
-	return 0, fmt.Errorf("rdfalign: unknown method %q (trivial, deblank, hybrid, overlap, sigmaedit)", s)
+	return 0, fmt.Errorf("rdfalign: unknown method %q (valid methods: %s)", s, strings.Join(names, ", "))
+}
+
+// MarshalText implements encoding.TextMarshaler: methods serialise by name
+// in JSON (the job API of cmd/rdfalignd relies on this).
+func (m Method) MarshalText() ([]byte, error) {
+	return []byte(m.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler via ParseMethod.
+func (m *Method) UnmarshalText(b []byte) error {
+	v, err := ParseMethod(string(b))
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
 }
 
 // Options configures Align.
+//
+// Deprecated: Options is the legacy struct-configuration path. Use
+// NewAligner with functional options (WithMethod, WithTheta, WithEpsilon,
+// WithMaxSigmaEditPairs, WithContextual, WithAdaptive, WithKeyPredicates)
+// instead; every field has an exact functional equivalent, and only the
+// session API offers cancellation, progress reporting, delta maintenance
+// and derived sessions (Aligner.With). Options remains as a thin adapter
+// and will not grow new fields.
 type Options struct {
 	// Method selects the algorithm; the zero value is Trivial.
 	Method Method
@@ -193,8 +229,12 @@ type Alignment struct {
 
 // Align aligns a source and a target graph. It is the uncancellable legacy
 // entry point, equivalent to NewAligner(opt.options()...) followed by
-// Align(context.Background(), g1, g2); services that need cancellation,
-// progress reporting or session reuse use NewAligner directly.
+// Align(context.Background(), g1, g2).
+//
+// Deprecated: use NewAligner followed by (*Aligner).Align. The session
+// entry point adds context cancellation, progress reporting, session
+// reuse and delta maintenance; this wrapper remains for source
+// compatibility only.
 func Align(g1, g2 *Graph, opt Options) (*Alignment, error) {
 	al, err := NewAligner(opt.options()...)
 	if err != nil {

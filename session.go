@@ -137,6 +137,19 @@ func (al *Aligner) ApplyDelta(ctx context.Context, a *Alignment, s *EditScript) 
 	return a2, nil
 }
 
+// Stale reports whether this alignment's session lineage has been advanced
+// past it: a later ApplyDelta committed a newer version, so applying a
+// delta to this alignment would return ErrStaleAlignment. Queries remain
+// valid on a stale alignment — only advancement is gated. Alignments
+// without session state (zero-value constructions) report stale, since
+// they can never be advanced.
+func (a *Alignment) Stale() bool {
+	if a.state == nil || a.state.al == nil {
+		return true
+	}
+	return a.state.version != a.state.shared.version
+}
+
 // ApplyDelta is Aligner.ApplyDelta on the aligner that produced a.
 func (a *Alignment) ApplyDelta(ctx context.Context, s *EditScript) (*Alignment, error) {
 	if a.state == nil || a.state.al == nil {

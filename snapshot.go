@@ -1,7 +1,9 @@
 package rdfalign
 
 import (
+	"fmt"
 	"io"
+	"os"
 
 	"rdfalign/internal/snapshot"
 )
@@ -89,6 +91,93 @@ func ReadArchiveSnapshotVersionFile(path string, v int) (*Graph, error) {
 func ReadSnapshotInfo(r io.ReaderAt, size int64) (*SnapshotInfo, error) {
 	return snapshot.ReadInfo(r, size)
 }
+
+// SnapshotHandle is an open snapshot file of either kind. OpenSnapshot
+// inspects the file once (verifying every section CRC) and the accessors
+// then decode graph, archive or single-version sections on demand through
+// the footer table — the symmetric read-side facade to WriteGraphSnapshot
+// and WriteArchiveSnapshot, and the loading path of both cmd/rdfalignd and
+// rdfalign -load-snapshot. A handle holds its file open until Close; the
+// accessors are independent and safe to call in any order, but the handle
+// itself is not safe for concurrent use.
+type SnapshotHandle struct {
+	f    *os.File
+	size int64
+	info *SnapshotInfo
+}
+
+// OpenSnapshot opens the snapshot file at path, auto-detecting whether it
+// holds a graph or an archive.
+func OpenSnapshot(path string) (*SnapshotHandle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	info, err := snapshot.ReadInfo(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &SnapshotHandle{f: f, size: st.Size(), info: info}, nil
+}
+
+// Info returns the inspection summary read at open time.
+func (h *SnapshotHandle) Info() *SnapshotInfo { return h.info }
+
+// IsArchive reports whether the snapshot holds an archive (otherwise it
+// holds a single graph).
+func (h *SnapshotHandle) IsArchive() bool { return h.info.Kind == "archive" }
+
+// Versions returns the number of versions: the archive's version count,
+// or 1 for a graph snapshot.
+func (h *SnapshotHandle) Versions() int {
+	if h.IsArchive() {
+		return h.info.Versions
+	}
+	return 1
+}
+
+// Graph loads the graph of a graph snapshot. For archive snapshots use
+// Archive or Version.
+func (h *SnapshotHandle) Graph() (*Graph, error) {
+	if h.IsArchive() {
+		return nil, fmt.Errorf("rdfalign: %s is an archive snapshot (%d versions); use Archive or Version", h.f.Name(), h.info.Versions)
+	}
+	return snapshot.ReadGraphAt(h.f, h.size)
+}
+
+// Archive reconstructs the archive of an archive snapshot.
+func (h *SnapshotHandle) Archive() (*Archive, error) {
+	if !h.IsArchive() {
+		return nil, fmt.Errorf("rdfalign: %s is a graph snapshot; use Graph", h.f.Name())
+	}
+	return snapshot.ReadArchive(h.f, h.size)
+}
+
+// Version loads the materialised graph of one version (0-based): the
+// per-version section of an archive snapshot, or — for a graph snapshot —
+// the graph itself (v must be 0). Only that version's section is decoded.
+func (h *SnapshotHandle) Version(v int) (*Graph, error) {
+	if !h.IsArchive() {
+		if v != 0 {
+			return nil, fmt.Errorf("rdfalign: version %d out of range: %s is a graph snapshot", v, h.f.Name())
+		}
+		return snapshot.ReadGraphAt(h.f, h.size)
+	}
+	if v < 0 || v >= h.info.Versions {
+		return nil, fmt.Errorf("rdfalign: version %d out of range [0, %d)", v, h.info.Versions)
+	}
+	return snapshot.ReadArchiveVersion(h.f, h.size, v)
+}
+
+// Close releases the underlying file. Graphs and archives already loaded
+// remain valid.
+func (h *SnapshotHandle) Close() error { return h.f.Close() }
 
 // ReadSnapshotInfoFile inspects the snapshot file at path.
 func ReadSnapshotInfoFile(path string) (*SnapshotInfo, error) {
