@@ -37,6 +37,7 @@ type alignerConfig struct {
 	resolveAmbiguous  bool
 	progress          ProgressFunc
 	workers           int
+	maxDepth          int
 }
 
 // Option configures an Aligner. Options are applied in order by NewAligner;
@@ -92,6 +93,21 @@ func WithAdaptive() Option {
 // restriction.
 func WithKeyPredicates(keys ...string) Option {
 	return func(c *alignerConfig) { c.keyPredicates = keys }
+}
+
+// WithMaxDepth bounds every refinement fixpoint of the session at k applied
+// rounds — bounded-depth k-bisimulation, the cheap approximate alignment
+// mode: partition refinement (deblank/hybrid), weighted propagation inside
+// the Overlap rounds, and σEdit distance propagation are all capped
+// uniformly (core.Engine.MaxDepth and the similarity layer's MaxDepth
+// options). k = 0 (the default) runs the exact unbounded fixpoints; a
+// negative k makes NewAligner fail. For every k the determinism guarantee
+// of the exact alignment carries over: colorings, weights and pair sets are
+// bit-identical for every worker count, and a fixpoint that stabilises
+// before round k is unaffected — large enough k reproduces the exact
+// alignment byte for byte.
+func WithMaxDepth(k int) Option {
+	return func(c *alignerConfig) { c.maxDepth = k }
 }
 
 // WithResolveAmbiguous makes BuildArchive additionally chain entities
@@ -155,6 +171,9 @@ func NewAligner(opts ...Option) (*Aligner, error) {
 	default:
 		return nil, fmt.Errorf("rdfalign: unknown method %v", cfg.method)
 	}
+	if cfg.maxDepth < 0 {
+		return nil, fmt.Errorf("rdfalign: max depth %d outside [0, ∞) (zero selects the exact unbounded fixpoint)", cfg.maxDepth)
+	}
 	return &Aligner{cfg: cfg, opts: append([]Option(nil), opts...)}, nil
 }
 
@@ -178,6 +197,11 @@ func (al *Aligner) Method() Method { return al.cfg.method }
 // Theta returns the session's resolved similarity threshold θ (the
 // default 0.65 when no WithTheta option was given).
 func (al *Aligner) Theta() float64 { return al.cfg.theta }
+
+// MaxDepth returns the session's refinement depth bound k: 0 for the exact
+// unbounded fixpoints, k > 0 for bounded-depth k-bisimulation
+// (WithMaxDepth).
+func (al *Aligner) MaxDepth() int { return al.cfg.maxDepth }
 
 // hooks assembles the core hooks for one Align/BuildArchive call.
 func (al *Aligner) hooks(ctx context.Context) core.Hooks {
@@ -206,7 +230,7 @@ func (al *Aligner) refineOptions() core.RefineOptions {
 
 // engine assembles the core engine for one call.
 func (al *Aligner) engine(ctx context.Context) *core.Engine {
-	return &core.Engine{Opt: al.refineOptions(), Hooks: al.hooks(ctx), Workers: al.cfg.workers}
+	return &core.Engine{Opt: al.refineOptions(), Hooks: al.hooks(ctx), Workers: al.cfg.workers, MaxDepth: al.cfg.maxDepth}
 }
 
 // Align aligns a source and a target graph. The context is checked before
@@ -283,6 +307,7 @@ func (al *Aligner) finishFromDeblank(eng *core.Engine, a *Alignment, deblank *co
 			Epsilon:    al.cfg.epsilon,
 			Hooks:      eng.Hooks,
 			Workers:    al.cfg.workers,
+			MaxDepth:   al.cfg.maxDepth,
 			State:      &a.state.shared.overlap,
 			Invalidate: invalidate,
 		})
@@ -305,6 +330,7 @@ func (al *Aligner) finishFromDeblank(eng *core.Engine, a *Alignment, deblank *co
 			Epsilon:  al.cfg.epsilon,
 			MaxPairs: al.cfg.maxSigmaEditPairs,
 			Hooks:    eng.Hooks,
+			MaxDepth: al.cfg.maxDepth,
 		})
 		if err != nil {
 			break

@@ -11,6 +11,7 @@ package rdfalign
 // scale (and beyond, with -scale).
 
 import (
+	"context"
 	"strconv"
 	"sync"
 	"testing"
@@ -288,6 +289,64 @@ func BenchmarkRefineDeblankWideDeep(b *testing.B) {
 		_, _, err := e.Deblank(g, core.NewInterner())
 		return err
 	})
+}
+
+// depthBenchBounds are the sub-benchmark depth bounds of the two depth
+// benchmarks (0 = the exact unbounded fixpoint).
+var depthBenchBounds = []int{1, 2, 3, 5, 10, 0}
+
+func depthBenchName(k int) string {
+	if k == 0 {
+		return "exact"
+	}
+	return "k=" + strconv.Itoa(k)
+}
+
+// BenchmarkRefineDepth measures what bounded depth buys on the wide+deep
+// deblank workload: the deep chain needs nDeep rounds exactly, so a small
+// bound skips nearly all of them. The full-recolor engine pays every round
+// in full, making it the strategy where the bound's speedup is largest —
+// the PR 9 acceptance floor (≥3× at some k over the exact fixpoint) is
+// measured here.
+func BenchmarkRefineDepth(b *testing.B) {
+	g := refineWideDeepGraph(20000, 500)
+	for _, k := range depthBenchBounds {
+		e := &core.Engine{FullRecolor: true, MaxDepth: k}
+		b.Run(depthBenchName(k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := e.Deblank(g, core.NewInterner()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAlignDepthSweep times the end-to-end hybrid alignment of a
+// GtoPdb pair through the public Aligner at each depth bound — the
+// user-visible cost curve behind rdfalign -max-depth and the server's
+// ?depth=k query parameter.
+func BenchmarkAlignDepthSweep(b *testing.B) {
+	d, err := GenerateGtoPdb(GtoPdbConfig{Versions: 2, Scale: 0.008, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g1, g2 := d.Graphs[0], d.Graphs[1]
+	for _, k := range depthBenchBounds {
+		al, err := NewAligner(WithMethod(Hybrid), WithMaxDepth(k))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(depthBenchName(k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := al.Align(context.Background(), g1, g2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkRefinePropagateWideDeep(b *testing.B) {

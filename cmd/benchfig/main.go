@@ -12,6 +12,7 @@
 //	benchfig -fig all        # everything, in order
 //	benchfig -fig ablations  # the DESIGN.md ablations
 //	benchfig -fig archive    # the §6 multi-version archive experiment
+//	benchfig -fig depth      # bounded-depth sweep: engines × depth bounds
 //
 // Scales are relative to the paper's dataset sizes; -scale multiplies the
 // defaults (which regenerate each figure in seconds). -progress streams
@@ -40,7 +41,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 9…16, all, archive, or ablations")
+	fig := flag.String("fig", "all", "figure to regenerate: 9…16, all, archive, ablations, or depth")
 	scale := flag.Float64("scale", 1.0, "multiplier on the default dataset scales")
 	seed := flag.Int64("seed", 0, "override the dataset seed (0 = default)")
 	theta := flag.Float64("theta", 0, "override θ (0 = paper default 0.65)")
@@ -102,6 +103,15 @@ func main() {
 		}
 	case "archive":
 		fmt.Println(env.ExperimentArchive())
+	case "depth":
+		sweep := env.DepthSweep()
+		fmt.Println(sweep)
+		if *jsonOut != "" {
+			if err := writeDepthJSON(*jsonOut, sweep, *scale); err != nil {
+				fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	default:
 		run, ok := runners[*fig]
 		if !ok {
@@ -112,7 +122,7 @@ func main() {
 		fmt.Println(run())
 	}
 
-	if *jsonOut != "" {
+	if *jsonOut != "" && *fig != "depth" {
 		if fig16 == nil {
 			fig16 = env.Fig16()
 		}
@@ -142,6 +152,22 @@ func writeFig16JSON(path string, r *experiments.Fig16Result, scale float64) erro
 	f := benchjson.File{
 		Description: "benchfig Figure 16 timings in the shared BENCH_refine.json schema (internal/benchjson)",
 		Workloads:   []benchjson.Workload{w},
+	}
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeDepthJSON records the bounded-depth sweep timings in the shared
+// baseline schema (one row per dataset × engine × depth cell).
+func writeDepthJSON(path string, r *experiments.DepthSweepResult, scale float64) error {
+	f := benchjson.File{
+		Description: "benchfig bounded-depth sweep timings in the shared BENCH_refine.json schema (internal/benchjson)",
+		Workloads: []benchjson.Workload{
+			r.Workload(fmt.Sprintf("benchfig -fig depth -scale %g: wall-clock deblank+hybrid times per engine and depth bound", scale)),
+		},
 	}
 	data, err := json.MarshalIndent(&f, "", "  ")
 	if err != nil {

@@ -7,6 +7,9 @@
 // refinement extensions are reachable as flags: -context characterises
 // nodes by incoming edges too, -adaptive fixes predicate-only URI
 // misalignments, -keys restricts refinement to a predicate key set.
+// -max-depth k switches to bounded-depth k-bisimulation: every refinement
+// fixpoint is capped at k rounds, trading alignment precision for speed
+// (0 = exact).
 // -timeout bounds the run through context cancellation, -progress streams
 // per-round progress to stderr, and -workers parallelises refinement and,
 // for -method overlap, the matching phases (bit-identical output for every
@@ -39,6 +42,7 @@ func main() {
 	contextual := flag.Bool("context", false, "characterise nodes by incoming edges as well as contents (§3.3/§6)")
 	adaptive := flag.Bool("adaptive", false, "characterise predicate-only URIs by their occurrences (§5.1)")
 	keys := flag.String("keys", "", "comma-separated predicate URIs restricting refinement (graph keys, §6)")
+	maxDepth := flag.Int("max-depth", 0, "bound every refinement fixpoint at k rounds (bounded-depth k-bisimulation; 0 = exact unbounded alignment)")
 	timeout := flag.Duration("timeout", 0, "abort the alignment after this duration (0 = no limit)")
 	progress := flag.Bool("progress", false, "stream per-round progress to stderr")
 	workers := flag.Int("workers", 0, "parallel refinement and overlap-matching workers (0 or 1 = sequential, -1 = all cores)")
@@ -93,6 +97,10 @@ func main() {
 	}
 	if *keys != "" {
 		opts = append(opts, rdfalign.WithKeyPredicates(strings.Split(*keys, ",")...))
+	}
+	if *maxDepth != 0 {
+		// Negative values flow through so NewAligner reports them.
+		opts = append(opts, rdfalign.WithMaxDepth(*maxDepth))
 	}
 	// WithParallelism treats non-positive values as "use GOMAXPROCS", so
 	// the documented "0 = sequential" semantics require skipping the option

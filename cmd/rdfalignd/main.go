@@ -61,6 +61,7 @@ func main() {
 		alignWorkers = flag.Int("align-workers", 0, "worker goroutines per alignment (0 = all cores)")
 		queryTimeout = flag.Duration("query-timeout", 10*time.Second, "per-query deadline, including budget wait")
 		maxUpload    = flag.Int64("max-upload", 1<<30, "max request body bytes")
+		jobHistory   = flag.Int("job-history", server.DefaultJobHistory, "terminal jobs retained per archive before the oldest are evicted")
 	)
 	archives := map[string]string{}
 	flag.Func("archive", "archive to load at startup, as name=snapshot-path (repeatable)", func(v string) error {
@@ -76,9 +77,39 @@ func main() {
 	})
 	flag.Parse()
 
-	if err := run(*addr, archives, *method, *theta, *resolveAmbig, *queryWorkers, *alignJobs, *alignWorkers, *queryTimeout, *maxUpload); err != nil {
+	if err := validateFlags(*queryWorkers, *alignJobs, *alignWorkers, *jobHistory, *queryTimeout, *maxUpload); err != nil {
 		log.Fatal(err)
 	}
+	if err := run(*addr, archives, *method, *theta, *resolveAmbig, *queryWorkers, *alignJobs, *alignWorkers, *jobHistory, *queryTimeout, *maxUpload); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// validateFlags rejects nonsensical sizing flags at startup instead of
+// letting them misbehave at runtime (a zero query-worker budget would
+// deadlock every query; a zero upload bound would reject every body). The
+// error wording follows similarity.ValidateTheta's convention: the value,
+// its accepted range, and what the special value selects.
+func validateFlags(queryWorkers, alignJobs, alignWorkers, jobHistory int, queryTimeout time.Duration, maxUpload int64) error {
+	if queryWorkers < 1 {
+		return fmt.Errorf("-query-workers %d outside [1, ∞)", queryWorkers)
+	}
+	if alignJobs < 1 {
+		return fmt.Errorf("-align-jobs %d outside [1, ∞)", alignJobs)
+	}
+	if alignWorkers < 0 {
+		return fmt.Errorf("-align-workers %d outside [0, ∞) (zero selects all cores)", alignWorkers)
+	}
+	if jobHistory < 1 {
+		return fmt.Errorf("-job-history %d outside [1, ∞)", jobHistory)
+	}
+	if queryTimeout <= 0 {
+		return fmt.Errorf("-query-timeout %v outside (0, ∞)", queryTimeout)
+	}
+	if maxUpload < 1 {
+		return fmt.Errorf("-max-upload %d outside [1, ∞) bytes", maxUpload)
+	}
+	return nil
 }
 
 func methodNames() string {
@@ -89,7 +120,7 @@ func methodNames() string {
 	return strings.Join(names, ", ")
 }
 
-func run(addr string, archives map[string]string, method string, theta float64, resolveAmbig bool, queryWorkers, alignJobs, alignWorkers int, queryTimeout time.Duration, maxUpload int64) error {
+func run(addr string, archives map[string]string, method string, theta float64, resolveAmbig bool, queryWorkers, alignJobs, alignWorkers, jobHistory int, queryTimeout time.Duration, maxUpload int64) error {
 	m, err := rdfalign.ParseMethod(method)
 	if err != nil {
 		return err
@@ -113,6 +144,7 @@ func run(addr string, archives map[string]string, method string, theta float64, 
 		AlignJobs:      alignJobs,
 		QueryTimeout:   queryTimeout,
 		MaxUploadBytes: maxUpload,
+		JobHistory:     jobHistory,
 		Logf:           log.Printf,
 	})
 	if err != nil {

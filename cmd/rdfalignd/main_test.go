@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestValidateFlags: nonsensical sizing flags are rejected at startup with
+// errors naming the flag, the value and the accepted range; the defaults
+// and other in-range values pass.
+func TestValidateFlags(t *testing.T) {
+	ok := func(queryWorkers, alignJobs, alignWorkers, jobHistory int, queryTimeout time.Duration, maxUpload int64) error {
+		return validateFlags(queryWorkers, alignJobs, alignWorkers, jobHistory, queryTimeout, maxUpload)
+	}
+	if err := ok(16, 1, 0, 64, 10*time.Second, 1<<30); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if err := ok(1, 8, 4, 1, time.Millisecond, 1); err != nil {
+		t.Fatalf("valid extremes rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		err  error
+		want string
+	}{
+		{"query-workers zero", ok(0, 1, 0, 64, time.Second, 1), "-query-workers 0 outside [1, ∞)"},
+		{"query-workers negative", ok(-3, 1, 0, 64, time.Second, 1), "-query-workers -3 outside [1, ∞)"},
+		{"align-jobs zero", ok(1, 0, 0, 64, time.Second, 1), "-align-jobs 0 outside [1, ∞)"},
+		{"align-jobs negative", ok(1, -2, 0, 64, time.Second, 1), "-align-jobs -2 outside [1, ∞)"},
+		{"align-workers negative", ok(1, 1, -1, 64, time.Second, 1), "-align-workers -1 outside [0, ∞)"},
+		{"job-history zero", ok(1, 1, 0, 0, time.Second, 1), "-job-history 0 outside [1, ∞)"},
+		{"query-timeout zero", ok(1, 1, 0, 64, 0, 1), "-query-timeout 0s outside (0, ∞)"},
+		{"query-timeout negative", ok(1, 1, 0, 64, -time.Second, 1), "-query-timeout -1s outside (0, ∞)"},
+		{"max-upload zero", ok(1, 1, 0, 64, time.Second, 0), "-max-upload 0 outside [1, ∞)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.err == nil {
+				t.Fatal("invalid flags accepted")
+			}
+			if !strings.Contains(tc.err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", tc.err, tc.want)
+			}
+		})
+	}
+}

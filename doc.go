@@ -141,6 +141,22 @@
 // (σ(n, m) ≤ θ, §4.1), and every θ-taking option accepts (0, 1] with the
 // zero value selecting the paper's 0.65 default.
 //
+// # Bounded-depth alignment
+//
+// WithMaxDepth(k) caps every refinement fixpoint — partition refinement,
+// weighted enrich/propagate, σEdit propagation — at exactly k applied
+// rounds: bounded-depth k-bisimulation. Nodes then share a class iff they
+// are indistinguishable by outbound paths of length at most k, a strictly
+// coarser alignment that trades ambiguity beyond depth k for a fraction
+// of the exact fixpoint's cost on deep graphs. The cap counts rounds
+// uniformly across the full-recolor, worklist and parallel strategies, so
+// the bit-identity guarantee holds per bound: for every k the engines
+// produce identical colorings across worker counts and hash seeds
+// (oracle- and property-tested), a fixpoint that stabilises before round
+// k is unaffected, and a k-bounded ApplyDelta equals a k-bounded
+// from-scratch re-alignment. On the CLI the bound is -max-depth; the
+// server answers per-query ?depth=k from cached per-k alignments.
+//
 // # Ingestion
 //
 // N-Triples input streams through a chunked parallel pipeline: the input
@@ -195,8 +211,13 @@
 // starve the query path. A delta submitted against a version that was
 // superseded before the job ran fails with HTTP 409 — the session API's
 // ErrStaleAlignment surfaced over the wire (Alignment.Stale is the
-// in-process equivalent). See internal/server and the README's "Running
-// the server" section for the endpoint table and curl examples.
+// in-process equivalent). Jobs end done, failed, canceled or timeout
+// (context errors are classified with errors.Is, so wrapped cancellations
+// count as canceled); terminal jobs are retained per archive up to
+// -job-history and then evicted. The relation endpoints accept ?depth=k
+// for bounded-depth answers served from per-head per-k caches. See
+// internal/server and the README's "Running the server" section for the
+// endpoint table and curl examples.
 //
 // The package also ships the paper's complete evaluation apparatus:
 // deterministic generators for the three datasets of Section 5 (an EFO-like

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rdfalign/internal/rdf"
+)
+
+// depthTestBounds are the bounds the depth tests sweep (0 = unbounded).
+var depthTestBounds = []int{1, 2, 3, 0}
+
+// TestDepthBoundedOracle validates the MaxDepth semantics against the
+// synchronized-round naive oracle on random graphs: for every bound k the
+// engine's partition after k applied rounds captures exactly the relation
+// R_k (NaiveKBisimulation), for the default worklist and the full-recolor
+// reference alike.
+func TestDepthBoundedOracle(t *testing.T) {
+	f := func(rngSeed int64) bool {
+		r := rand.New(rand.NewSource(rngSeed))
+		g := randomGraph(r, "depth", 2+r.Intn(4), r.Intn(5), r.Intn(3), r.Intn(16))
+		for _, k := range []int{0, 1, 2, 3, 4} {
+			want := NaiveKBisimulation(g, k)
+			for _, e := range []*Engine{
+				{MaxDepth: k},
+				{MaxDepth: k, FullRecolor: true},
+			} {
+				p, _, err := e.Bisim(g, NewInterner())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !FromPartition(p).Equal(want) {
+					t.Logf("seed %d k=%d FullRecolor=%v: partition differs from R_k", rngSeed, k, e.FullRecolor)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDepthDeterminismWorkersAndSeeds extends the bit-identity guarantee to
+// every depth bound: on a frontier large enough to engage the sharded
+// interner, the k-bounded colorings of the full-recolor reference, the
+// worklist, and their parallel variants must be color-for-color identical
+// (not merely equivalent) across worker counts and hash seeds, with the
+// same applied-round count.
+func TestDepthDeterminismWorkersAndSeeds(t *testing.T) {
+	g := wideDeepTestGraph(2*parallelThreshold, 40)
+	for _, k := range depthTestBounds {
+		var want *Partition
+		var wantIters int
+		for _, full := range []bool{false, true} {
+			for _, seed := range internTestSeeds {
+				for _, workers := range []int{1, 2, 4, 8} {
+					e := &Engine{Workers: workers, MaxDepth: k, FullRecolor: full}
+					p, iters, err := e.Deblank(g, NewInternerSeeded(seed))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if want == nil {
+						want, wantIters = p, iters
+						continue
+					}
+					if iters != wantIters {
+						t.Errorf("k=%d full=%v seed %#x workers %d: %d rounds, want %d",
+							k, full, seed, workers, iters, wantIters)
+					}
+					if !samePartition(want, p) {
+						t.Errorf("k=%d full=%v seed %#x workers %d: coloring diverged",
+							k, full, seed, workers)
+					}
+				}
+			}
+		}
+		if k > 0 && wantIters != k {
+			t.Errorf("k=%d: fixpoint stopped after %d rounds, want exactly k", k, wantIters)
+		}
+	}
+}
+
+// TestDepthWeightedDeterminism is the weighted counterpart: k-bounded
+// Propagate must yield bit-identical colors and weights across the
+// full-recolor and worklist strategies, worker counts and hash seeds.
+func TestDepthWeightedDeterminism(t *testing.T) {
+	c := rdf.Union(wideDeepTestGraph(parallelThreshold, 30), wideDeepTestGraph(parallelThreshold, 30))
+	for _, k := range depthTestBounds {
+		var want *Weighted
+		for _, full := range []bool{false, true} {
+			for _, seed := range internTestSeeds {
+				for _, workers := range []int{1, 4} {
+					in := NewInternerSeeded(seed)
+					xi := NewWeighted(TrivialPartition(c.Graph, in))
+					out, _, err := (&Engine{Workers: workers, MaxDepth: k, FullRecolor: full}).Propagate(c, xi, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if want == nil {
+						want = out
+						continue
+					}
+					if !samePartition(want.P, out.P) {
+						t.Errorf("k=%d full=%v seed %#x workers %d: weighted coloring diverged", k, full, seed, workers)
+					}
+					for n := range out.W {
+						if out.W[n] != want.W[n] {
+							t.Fatalf("k=%d full=%v seed %#x workers %d: weight of node %d = %v, want %v",
+								k, full, seed, workers, n, out.W[n], want.W[n])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDepthLargeBoundEqualsUnbounded checks the stabilise-before-k clause:
+// a bound beyond the fixpoint's natural depth changes nothing — identical
+// coloring and identical round count as the exact unbounded run, for both
+// the unweighted and the weighted fixpoints.
+func TestDepthLargeBoundEqualsUnbounded(t *testing.T) {
+	g := wideDeepTestGraph(200, 25)
+	exact, exactIters, err := (&Engine{}).Deblank(g, NewInterner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, boundedIters, err := (&Engine{MaxDepth: 10_000}).Deblank(g, NewInterner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boundedIters != exactIters || !samePartition(exact, bounded) {
+		t.Errorf("MaxDepth=10000: %d rounds vs exact %d, identical=%v",
+			boundedIters, exactIters, samePartition(exact, bounded))
+	}
+
+	c := rdf.Union(wideDeepTestGraph(150, 20), wideDeepTestGraph(150, 20))
+	wExact, wIters, err := (&Engine{}).Propagate(c, NewWeighted(TrivialPartition(c.Graph, NewInterner())), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wBounded, wbIters, err := (&Engine{MaxDepth: 10_000}).Propagate(c, NewWeighted(TrivialPartition(c.Graph, NewInterner())), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wbIters != wIters || !samePartition(wExact.P, wBounded.P) {
+		t.Errorf("weighted MaxDepth=10000: %d rounds vs exact %d", wbIters, wIters)
+	}
+}
+
+// TestDepthMonotone checks that deepening the bound only refines: for
+// k' > k the k'-bounded partition has at least as many classes, and the
+// unbounded partition is the finest of all.
+func TestDepthMonotone(t *testing.T) {
+	g := wideDeepTestGraph(300, 30)
+	prev := -1
+	for _, k := range []int{1, 2, 3, 5, 10, 0} {
+		p, _, err := (&Engine{MaxDepth: k}).Deblank(g, NewInterner())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := p.NumClasses(); n < prev {
+			t.Errorf("k=%d: %d classes, fewer than the shallower bound's %d", k, n, prev)
+		} else {
+			prev = n
+		}
+	}
+}
+
+// TestDepthPaperExamplesExact pins the k=∞ clause on the paper's example
+// graphs: a bound far beyond their fixpoint depth leaves Bisim, Deblank
+// and Hybrid byte-identical to the exact unbounded run.
+func TestDepthPaperExamplesExact(t *testing.T) {
+	graphs := []*rdf.Graph{figure1V1(t), figure1V2(t), figure3G1(t), figure3G2(t)}
+	for i, g := range graphs {
+		for _, fn := range []struct {
+			name string
+			run  func(e *Engine) (*Partition, int, error)
+		}{
+			{"bisim", func(e *Engine) (*Partition, int, error) { return e.Bisim(g, NewInterner()) }},
+			{"deblank", func(e *Engine) (*Partition, int, error) { return e.Deblank(g, NewInterner()) }},
+		} {
+			exact, exactIters, err := fn.run(&Engine{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bounded, boundedIters, err := fn.run(&Engine{MaxDepth: 1000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if boundedIters != exactIters || !samePartition(exact, bounded) {
+				t.Errorf("graph %d %s: large bound diverged from exact", i, fn.name)
+			}
+		}
+	}
+	c := rdf.Union(figure1V1(t), figure1V2(t))
+	exact, _, err := (&Engine{}).Hybrid(c, NewInterner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, _, err := (&Engine{MaxDepth: 1000}).Hybrid(c, NewInterner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePartition(exact, bounded) {
+		t.Error("hybrid: large bound diverged from exact on the Figure 1 pair")
+	}
+}

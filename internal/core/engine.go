@@ -37,6 +37,19 @@ type Engine struct {
 	// reconciliation), and every worker count yields the identical
 	// coloring.
 	Workers int
+	// MaxDepth > 0 caps every refinement fixpoint at that many applied
+	// rounds — bounded-depth k-bisimulation (the localized/k-bounded
+	// variant of the literature; cheap approximate alignment). 0 runs the
+	// exact unbounded fixpoint. The cap counts applied rounds uniformly
+	// across all evaluation strategies: at the top of iteration i the
+	// current partition holds exactly i applied rounds in the full-recolor,
+	// parallel and worklist loops alike (the worklist only recolors nodes
+	// the full round would move, and the discarded quiescent round is never
+	// counted), so for every k the engines produce bit-identical colorings
+	// for every worker count and interner seed — the same determinism
+	// guarantee the unbounded fixpoint carries. A fixpoint that stabilises
+	// before round k is unaffected: bounded and unbounded results coincide.
+	MaxDepth int
 	// FullRecolor disables the incremental worklist and recolors the
 	// entire recolor set every round — the pre-worklist reference
 	// behavior, kept for validation and benchmarking. Both strategies
@@ -81,6 +94,9 @@ func (e *Engine) refineFull(g *rdf.Graph, p *Partition, x []rdf.NodeID) (*Partit
 		if err := e.Hooks.Err(); err != nil {
 			return nil, 0, err
 		}
+		if e.MaxDepth > 0 && iter >= e.MaxDepth {
+			return cur, iter, nil // k-bounded: exactly MaxDepth applied rounds
+		}
 		if iter > DefaultMaxIterations {
 			panic(fmt.Sprintf("core: Refine did not stabilise after %d iterations", iter))
 		}
@@ -110,6 +126,9 @@ func (e *Engine) refineParallelFull(g *rdf.Graph, p *Partition, x []rdf.NodeID) 
 	for iter := 0; ; iter++ {
 		if err := e.Hooks.Err(); err != nil {
 			return nil, 0, err
+		}
+		if e.MaxDepth > 0 && iter >= e.MaxDepth {
+			return cur, iter, nil // k-bounded: exactly MaxDepth applied rounds
 		}
 		if iter > DefaultMaxIterations {
 			panic(fmt.Sprintf("core: Refine (parallel) did not stabilise after %d iterations", iter))
@@ -241,6 +260,9 @@ func (e *Engine) RefineWeighted(g *rdf.Graph, xi *Weighted, x []rdf.NodeID, eps 
 	for iter := 0; ; iter++ {
 		if err := e.Hooks.Err(); err != nil {
 			return nil, 0, err
+		}
+		if e.MaxDepth > 0 && iter >= e.MaxDepth {
+			return cur, iter, nil // k-bounded: exactly MaxDepth applied rounds
 		}
 		if iter > DefaultMaxIterations {
 			panic(fmt.Sprintf("core: RefineWeighted did not stabilise after %d iterations", iter))

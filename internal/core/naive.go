@@ -63,6 +63,50 @@ func simulatedBy(g *rdf.Graph, rel *Relation, n, m rdf.NodeID) bool {
 	return true
 }
 
+// NaiveKBisimulation computes the depth-bounded k-bisimulation relation:
+// R_0 is label equality and R_d removes from R_{d-1} every pair that is not
+// mutually simulated under R_{d-1}. Unlike NaiveMaximalBisimulation's
+// asynchronous deletion (which is only correct for the greatest fixpoint),
+// the rounds here are synchronized — each round reads the previous round's
+// relation — because R_d itself is the specification of what an Engine with
+// MaxDepth = d computes (each R_d is an equivalence: the surviving pairs
+// are exactly the ones whose outbound class-pair sets under R_{d-1}
+// coincide, which is what one refinement round distinguishes). k <= 0 means
+// unbounded, converging to Bisim(G). The quadratic per-round cost makes
+// this a small-graph test oracle only.
+func NaiveKBisimulation(g *rdf.Graph, k int) *Relation {
+	n := g.NumNodes()
+	rel := NewRelation(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if g.Label(rdf.NodeID(i)) == g.Label(rdf.NodeID(j)) {
+				rel.Set(rdf.NodeID(i), rdf.NodeID(j))
+			}
+		}
+	}
+	for d := 0; k <= 0 || d < k; d++ {
+		next := rel.Clone()
+		changed := false
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				ni, nj := rdf.NodeID(i), rdf.NodeID(j)
+				if !rel.Has(ni, nj) {
+					continue
+				}
+				if !simulatedBy(g, rel, ni, nj) || !simulatedBy(g, rel, nj, ni) {
+					next.Clear(ni, nj)
+					changed = true
+				}
+			}
+		}
+		rel = next
+		if !changed {
+			break
+		}
+	}
+	return rel
+}
+
 // NaiveDeblankEquivalence computes the equivalence relation the deblanking
 // alignment captures (§3.3; the paper's formal definition lives in its
 // appendix): the greatest relation R ⊆ label-equality such that blank pairs
@@ -131,6 +175,11 @@ func (r *Relation) Set(a, b rdf.NodeID) {
 func (r *Relation) Clear(a, b rdf.NodeID) {
 	w, m := r.idx(a, b)
 	r.bits[w] &^= m
+}
+
+// Clone returns an independent copy of the relation.
+func (r *Relation) Clone() *Relation {
+	return &Relation{n: r.n, bits: append([]uint64(nil), r.bits...)}
 }
 
 // Has reports whether (a, b) is in the relation.

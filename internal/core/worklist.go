@@ -276,6 +276,9 @@ func (e *Engine) refineWorklist(g *rdf.Graph, p *Partition, x []rdf.NodeID, trac
 		if err := e.Hooks.Err(); err != nil {
 			return nil, 0, err
 		}
+		if e.MaxDepth > 0 && iter >= e.MaxDepth {
+			return cur, iter, nil // k-bounded: exactly MaxDepth applied rounds
+		}
 		if iter > DefaultMaxIterations {
 			panic(fmt.Sprintf("core: Refine (worklist) did not stabilise after %d iterations", iter))
 		}
@@ -507,6 +510,9 @@ func (e *Engine) refineWeightedWorklist(g *rdf.Graph, xi *Weighted, x []rdf.Node
 	for iter := 0; ; iter++ {
 		if err := e.Hooks.Err(); err != nil {
 			return nil, 0, err
+		}
+		if e.MaxDepth > 0 && iter >= e.MaxDepth {
+			return cur, iter, nil // k-bounded: exactly MaxDepth applied rounds
 		}
 		if iter > DefaultMaxIterations {
 			panic(fmt.Sprintf("core: RefineWeighted (worklist) did not stabilise after %d iterations", iter))

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -17,7 +18,18 @@ const (
 	JobDone     JobState = "done"     // new head published
 	JobFailed   JobState = "failed"   // see Error / Status
 	JobCanceled JobState = "canceled" // canceled via DELETE /jobs/{id} or shutdown
+	JobTimeout  JobState = "timeout"  // the job's deadline expired mid-alignment
 )
+
+// terminal reports whether a state is final (the job will never transition
+// again and is eligible for history eviction).
+func (s JobState) terminal() bool {
+	switch s {
+	case JobDone, JobFailed, JobCanceled, JobTimeout:
+		return true
+	}
+	return false
+}
 
 // JobProgress is the most recent alignment progress event of a job,
 // reported through the session API's WithProgress hook.
@@ -49,6 +61,7 @@ type Job struct {
 	kind    string
 	cancel  context.CancelFunc
 	done    chan struct{}
+	js      *Jobs // owning table, for terminal-state history eviction
 
 	mu       sync.Mutex
 	state    JobState
@@ -91,21 +104,31 @@ func (j *Job) finish(version int) {
 	j.version = version
 	j.mu.Unlock()
 	close(j.done)
+	j.js.noteTerminal(j.archive)
 }
 
 // fail marks failure with the HTTP status the error maps to and releases
-// waiters. A context cancellation is reported as canceled, not failed.
+// waiters. A context cancellation is reported as canceled, not failed — the
+// fixpoints wrap ctx.Err() (fmt.Errorf("...: %w", ...)), so the
+// classification must unwrap with errors.Is, never compare identities. An
+// expired deadline is its own terminal state: a client that set a budget
+// needs to distinguish "took too long" from "was canceled" without parsing
+// error text.
 func (j *Job) fail(err error, status int) {
 	j.mu.Lock()
-	if err == context.Canceled {
+	switch {
+	case errors.Is(err, context.Canceled):
 		j.state = JobCanceled
-	} else {
+	case errors.Is(err, context.DeadlineExceeded):
+		j.state = JobTimeout
+	default:
 		j.state = JobFailed
 	}
 	j.err = err.Error()
 	j.status = status
 	j.mu.Unlock()
 	close(j.done)
+	j.js.noteTerminal(j.archive)
 }
 
 // Info returns a consistent snapshot of the job.
@@ -128,18 +151,30 @@ func (j *Job) Info() JobInfo {
 	return info
 }
 
-// Jobs is the server's job table. Jobs are retained after completion so
-// clients can poll terminal states; the table lives as long as the server.
+// DefaultJobHistory is the per-archive terminal-job retention bound when
+// Jobs is built with a non-positive history.
+const DefaultJobHistory = 64
+
+// Jobs is the server's job table. Terminal jobs are retained so clients
+// can poll their final state, but only the most recent history per archive:
+// older terminal jobs are evicted (GET /jobs/{id} then 404s), which bounds
+// the table under sustained upload traffic. In-flight jobs are never
+// evicted.
 type Jobs struct {
-	mu  sync.Mutex
-	seq int
-	m   map[string]*Job
-	ord []string
+	mu      sync.Mutex
+	seq     int
+	history int // max terminal jobs retained per archive
+	m       map[string]*Job
+	ord     []string
 }
 
-// NewJobs returns an empty job table.
-func NewJobs() *Jobs {
-	return &Jobs{m: make(map[string]*Job)}
+// NewJobs returns an empty job table retaining at most history terminal
+// jobs per archive (DefaultJobHistory when non-positive).
+func NewJobs(history int) *Jobs {
+	if history <= 0 {
+		history = DefaultJobHistory
+	}
+	return &Jobs{history: history, m: make(map[string]*Job)}
 }
 
 // New registers a queued job for the named archive. cancel aborts the
@@ -155,10 +190,47 @@ func (js *Jobs) New(archive, kind string, cancel context.CancelFunc) *Job {
 		cancel:  cancel,
 		done:    make(chan struct{}),
 		state:   JobQueued,
+		js:      js,
 	}
 	js.m[j.id] = j
 	js.ord = append(js.ord, j.id)
 	return j
+}
+
+// noteTerminal evicts the archive's oldest terminal jobs beyond the
+// retention bound. Called by finish/fail after the job's own mutex is
+// released (lock order is always Jobs.mu → Job.mu, matching List).
+func (js *Jobs) noteTerminal(archive string) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	var terminal []string
+	for _, id := range js.ord {
+		j := js.m[id]
+		if j.archive != archive {
+			continue
+		}
+		j.mu.Lock()
+		t := j.state.terminal()
+		j.mu.Unlock()
+		if t {
+			terminal = append(terminal, id)
+		}
+	}
+	if len(terminal) <= js.history {
+		return
+	}
+	evict := make(map[string]bool, len(terminal)-js.history)
+	for _, id := range terminal[:len(terminal)-js.history] {
+		evict[id] = true
+		delete(js.m, id)
+	}
+	kept := js.ord[:0]
+	for _, id := range js.ord {
+		if !evict[id] {
+			kept = append(kept, id)
+		}
+	}
+	js.ord = kept
 }
 
 // Get returns the job with the given ID, or nil.

@@ -66,6 +66,10 @@ type VersionInfo struct {
 // the first query of each kind builds them and later queries share them.
 type head struct {
 	arch *archive.Archive
+	// al is the entry aligner this head's alignment came from;
+	// depth-bounded per-query alignments (?depth=k) derive k-bounded
+	// sessions from it on first use (see alignAt).
+	al *rdfalign.Aligner
 	// anchorVersion/latest describe the live alignment session: align is
 	// the maintained alignment anchorVersion → version-1 (the newest
 	// version), nil while the archive has a single version. Delta
@@ -87,9 +91,15 @@ type head struct {
 	uriOnce   sync.Once
 	anchorURI map[string]rdfalign.NodeID
 	latestURI map[string]rdfalign.NodeID
-	entOnce   []sync.Once
-	entIdx    []map[string]archive.EntityID
-	entIdxMu  sync.Mutex // guards entIdx slot writes (entOnce serialises per slot)
+
+	// depthAligns caches the k-bounded alignments of the head's pair, one
+	// per queried depth. Heads are immutable, so the cache never needs
+	// invalidation: publishing a new head starts an empty cache.
+	depthMu     sync.Mutex
+	depthAligns map[int]*rdfalign.Alignment
+	entOnce     []sync.Once
+	entIdx      []map[string]archive.EntityID
+	entIdxMu    sync.Mutex // guards entIdx slot writes (entOnce serialises per slot)
 }
 
 // Stats returns the archive statistics, computed once per head.
@@ -158,6 +168,51 @@ func (h *head) findLatest(uri string) (rdfalign.NodeID, bool) {
 	h.buildURIIndexes()
 	n, ok := h.latestURI[uri]
 	return n, ok
+}
+
+// alignAt returns the head's alignment at the given depth bound: depth <= 0
+// is the exact head alignment, depth k > 0 the k-bounded (k-bisimulation)
+// alignment of the same anchor/latest pair, computed on first use and
+// cached on the head. An approximate query therefore never pays a full
+// exact align — the first query at each k pays one k-bounded align (far
+// cheaper on deep fixpoints), and later queries at that k are served from
+// the cache. A concurrent first query may compute the same alignment
+// twice; the first published result wins, and both are bit-identical by
+// the per-k determinism guarantee.
+func (h *head) alignAt(ctx context.Context, depth int) (*rdfalign.Alignment, error) {
+	if h.align == nil {
+		return nil, ErrNoAlignment
+	}
+	if depth <= 0 {
+		return h.align, nil
+	}
+	h.depthMu.Lock()
+	a, ok := h.depthAligns[depth]
+	h.depthMu.Unlock()
+	if ok {
+		return a, nil
+	}
+	// Detach the entry's progress sink: a query-path align must not
+	// interleave its rounds into a running job's progress.
+	dal, err := h.al.With(rdfalign.WithMaxDepth(depth), rdfalign.WithProgress(nil))
+	if err != nil {
+		return nil, err
+	}
+	a, err = dal.Align(ctx, h.anchor, h.latest)
+	if err != nil {
+		return nil, err
+	}
+	h.depthMu.Lock()
+	if prev, ok := h.depthAligns[depth]; ok {
+		a = prev
+	} else {
+		if h.depthAligns == nil {
+			h.depthAligns = make(map[int]*rdfalign.Alignment)
+		}
+		h.depthAligns[depth] = a
+	}
+	h.depthMu.Unlock()
+	return a, nil
 }
 
 // entityAt resolves a URI to its entity at version v, building the
@@ -263,11 +318,13 @@ func (r *Registry) entry(name string) (*entry, error) {
 }
 
 // newHead assembles and caches the derived-state shell around an archive
-// state. Callers publish the result with entry.head.Store.
-func newHead(arch *archive.Archive, anchorVersion int, anchor, latest *rdfalign.Graph, align *rdfalign.Alignment) *head {
+// state. al is the entry's aligner, kept for depth-bounded query-path
+// alignments. Callers publish the result with entry.head.Store.
+func newHead(al *rdfalign.Aligner, arch *archive.Archive, anchorVersion int, anchor, latest *rdfalign.Graph, align *rdfalign.Alignment) *head {
 	v := arch.Versions()
 	return &head{
 		arch:          arch,
+		al:            al,
 		anchorVersion: anchorVersion,
 		anchor:        anchor,
 		latest:        latest,
@@ -312,7 +369,7 @@ func (r *Registry) Create(ctx context.Context, name string, arch *archive.Archiv
 			return fmt.Errorf("server: align %q head pair: %w", name, err)
 		}
 	}
-	e.head.Store(newHead(arch, anchorVersion, anchor, latest, align))
+	e.head.Store(newHead(eal, arch, anchorVersion, anchor, latest, align))
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -346,7 +403,7 @@ func (r *Registry) AppendGraph(ctx context.Context, name string, g *rdfalign.Gra
 	if _, err := e.al.AppendVersion(ctx, arch2, g, nil); err != nil {
 		return nil, err
 	}
-	h := newHead(arch2, cur.version-1, cur.latest, g, align)
+	h := newHead(e.al, arch2, cur.version-1, cur.latest, g, align)
 	e.head.Store(h)
 	return h, nil
 }
@@ -388,7 +445,7 @@ func (r *Registry) AppendDelta(ctx context.Context, name string, captured *head,
 		if _, err := e.al.AppendVersion(ctx, arch2, g2, nil); err != nil {
 			return nil, err
 		}
-		h := newHead(arch2, cur.version-1, captured.latest, g2, align)
+		h := newHead(e.al, arch2, cur.version-1, captured.latest, g2, align)
 		e.head.Store(h)
 		return h, nil
 	}
@@ -411,7 +468,7 @@ func (r *Registry) AppendDelta(ctx context.Context, name string, captured *head,
 	if _, err := e.al.AppendVersion(ctx, arch2, a2.Target(), nil); err != nil {
 		return nil, err
 	}
-	h := newHead(arch2, captured.anchorVersion, captured.anchor, a2.Target(), a2)
+	h := newHead(e.al, arch2, captured.anchorVersion, captured.anchor, a2.Target(), a2)
 	e.head.Store(h)
 	return h, nil
 }

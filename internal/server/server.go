@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"rdfalign"
@@ -34,6 +35,12 @@ type Config struct {
 	// MaxUploadBytes bounds request bodies (snapshots, N-Triples,
 	// deltas). Non-positive selects 1 GiB.
 	MaxUploadBytes int64
+	// JobHistory bounds the terminal jobs retained per archive: older
+	// terminal jobs are evicted from the job table (GET /jobs/{id} then
+	// 404s), so the table stays bounded under sustained upload traffic.
+	// In-flight jobs are never evicted. Non-positive selects
+	// DefaultJobHistory (64).
+	JobHistory int
 	// Logf, when non-nil, receives one line per request-changing event
 	// (loads, job transitions).
 	Logf func(format string, args ...any)
@@ -77,7 +84,7 @@ func New(cfg Config) (*Server, error) {
 		base:   base,
 		reg:    NewRegistry(base),
 		budget: NewBudget(cfg.QueryWorkers, cfg.AlignJobs),
-		jobs:   NewJobs(),
+		jobs:   NewJobs(cfg.JobHistory),
 	}
 	s.mux = s.buildMux()
 	return s, nil
@@ -314,13 +321,29 @@ func termOf(g *rdfalign.Graph, n rdfalign.NodeID) Term {
 // head's aligned pair. Unknown URIs are reported with found flags rather
 // than errors so clients can distinguish "not in this version" from "not
 // aligned".
-func (h *head) alignedPair(r *http.Request) (src, tgt rdfalign.NodeID, srcOK, tgtOK bool, err error) {
-	if h.align == nil {
-		return 0, 0, false, false, ErrNoAlignment
-	}
+func (h *head) alignedPair(r *http.Request) (src, tgt rdfalign.NodeID, srcOK, tgtOK bool) {
 	src, srcOK = h.findAnchor(r.URL.Query().Get("source"))
 	tgt, tgtOK = h.findLatest(r.URL.Query().Get("target"))
-	return src, tgt, srcOK, tgtOK, nil
+	return src, tgt, srcOK, tgtOK
+}
+
+// parseDepth reads the optional ?depth=k parameter of the relation
+// endpoints: k > 0 selects the k-bounded (k-bisimulation) alignment of the
+// head pair, served from the head's per-k cache; 0 or absent selects the
+// exact alignment. A malformed or negative value writes a 400 and reports
+// ok = false.
+func parseDepth(w http.ResponseWriter, r *http.Request) (depth int, ok bool) {
+	v := r.URL.Query().Get("depth")
+	if v == "" {
+		return 0, true
+	}
+	d, err := strconv.Atoi(v)
+	if err != nil || d < 0 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("depth %q outside [0, ∞) (zero or absent selects the exact alignment)", v))
+		return 0, false
+	}
+	return d, true
 }
 
 func (s *Server) handleAligned(w http.ResponseWriter, r *http.Request) error {
@@ -328,14 +351,20 @@ func (s *Server) handleAligned(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	src, tgt, srcOK, tgtOK, err := h.alignedPair(r)
+	depth, ok := parseDepth(w, r)
+	if !ok {
+		return nil
+	}
+	a, err := h.alignAt(r.Context(), depth)
 	if err != nil {
 		return err
 	}
+	src, tgt, srcOK, tgtOK := h.alignedPair(r)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"source_found": srcOK,
 		"target_found": tgtOK,
-		"aligned":      srcOK && tgtOK && h.align.Aligned(src, tgt),
+		"aligned":      srcOK && tgtOK && a.Aligned(src, tgt),
+		"depth":        depth,
 	})
 	return nil
 }
@@ -345,13 +374,18 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	src, tgt, srcOK, tgtOK, err := h.alignedPair(r)
+	depth, ok := parseDepth(w, r)
+	if !ok {
+		return nil
+	}
+	a, err := h.alignAt(r.Context(), depth)
 	if err != nil {
 		return err
 	}
-	resp := map[string]any{"source_found": srcOK, "target_found": tgtOK}
+	src, tgt, srcOK, tgtOK := h.alignedPair(r)
+	resp := map[string]any{"source_found": srcOK, "target_found": tgtOK, "depth": depth}
 	if srcOK && tgtOK {
-		resp["distance"] = h.align.Distance(src, tgt)
+		resp["distance"] = a.Distance(src, tgt)
 	}
 	writeJSON(w, http.StatusOK, resp)
 	return nil
@@ -362,21 +396,26 @@ func (s *Server) handleMatches(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	if h.align == nil {
-		return ErrNoAlignment
-	}
-	uri := r.URL.Query().Get("uri")
-	n, ok := h.findAnchor(uri)
+	depth, ok := parseDepth(w, r)
 	if !ok {
-		writeJSON(w, http.StatusOK, map[string]any{"found": false, "matches": []Term{}})
 		return nil
 	}
-	ids := h.align.MatchesOf(n)
+	a, err := h.alignAt(r.Context(), depth)
+	if err != nil {
+		return err
+	}
+	uri := r.URL.Query().Get("uri")
+	n, found := h.findAnchor(uri)
+	if !found {
+		writeJSON(w, http.StatusOK, map[string]any{"found": false, "matches": []Term{}, "depth": depth})
+		return nil
+	}
+	ids := a.MatchesOf(n)
 	matches := make([]Term, len(ids))
 	for i, m := range ids {
 		matches[i] = termOf(h.latest, m)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"found": true, "matches": matches})
+	writeJSON(w, http.StatusOK, map[string]any{"found": true, "matches": matches, "depth": depth})
 	return nil
 }
 

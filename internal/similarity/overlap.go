@@ -31,6 +31,13 @@ type OverlapOptions struct {
 	// inside each matching phase; a StageOverlap event is reported after
 	// each round. The zero value disables both.
 	Hooks core.Hooks
+	// MaxDepth > 0 caps every propagation fixpoint inside the loop at that
+	// many applied rounds (core.Engine.MaxDepth): the bounded-depth
+	// k-bisimulation mode. The outer enrich/propagate loop of Algorithm 2
+	// is not capped — it terminates because Enrich strictly shrinks the
+	// unaligned sets, independent of how deep each propagation ran. 0 runs
+	// the exact unbounded propagation.
+	MaxDepth int
 	// Workers > 1 parallelises the matching phases (candidate generation
 	// and σ-verification fan out across source nodes, see
 	// OverlapMatchWorkers) and the propagation recoloring
@@ -191,7 +198,7 @@ func OverlapAlign(c *rdf.Combined, hybrid *core.Partition, opt OverlapOptions) (
 	res.LiteralPairs = len(h.Edges)
 
 	// Lines 5–12.
-	eng := &core.Engine{Hooks: opt.Hooks, Workers: opt.Workers}
+	eng := &core.Engine{Hooks: opt.Hooks, Workers: opt.Workers, MaxDepth: opt.MaxDepth}
 	matcher.scratchRounds = opt.scratchIndex
 	var changed []rdf.NodeID
 	for {

@@ -29,6 +29,13 @@ type SigmaEditOptions struct {
 	// the context is checked once per matrix row, and a StageSigmaEdit
 	// event is reported after each round. The zero value disables both.
 	Hooks core.Hooks
+	// MaxDepth > 0 caps the distance propagation at that many applied
+	// rounds — the σEdit counterpart of bounded-depth k-bisimulation
+	// (core.Engine.MaxDepth): entries then reflect edit costs propagated
+	// along paths of length at most MaxDepth. 0 propagates to the exact
+	// fixpoint. A propagation that converges before round MaxDepth is
+	// unaffected.
+	MaxDepth int
 }
 
 // DefaultMaxPairs bounds the σEdit pair matrix (the method is the expensive
@@ -50,8 +57,9 @@ type SigmaEdit struct {
 	idx1     map[rdf.NodeID]int
 	idx2     map[rdf.NodeID]int
 	// dist is the |nl1| × |nl2| matrix of propagated distances.
-	dist  []float64
-	iters int
+	dist     []float64
+	iters    int
+	maxDepth int // propagation round cap; 0 = propagate to the fixpoint
 	// litSides caches per-color side occupancy (bit 1 = source, bit 2 =
 	// target) for the literal unaligned test.
 	litSides map[core.Color]uint8
@@ -92,6 +100,7 @@ func NewSigmaEdit(c *rdf.Combined, hybrid *core.Partition, opt SigmaEditOptions)
 		s.idx2[n] = i
 	}
 	s.dist = make([]float64, len(s.nl1)*len(s.nl2))
+	s.maxDepth = opt.MaxDepth
 	if err := s.propagate(opt.Epsilon, opt.Hooks); err != nil {
 		return nil, err
 	}
@@ -163,6 +172,9 @@ func (s *SigmaEdit) propagate(eps float64, hooks core.Hooks) error {
 	}
 	next := make([]float64, len(s.dist))
 	for {
+		if s.maxDepth > 0 && s.iters >= s.maxDepth {
+			return nil // k-bounded: exactly maxDepth applied rounds
+		}
 		s.iters++
 		if s.iters > 1000 {
 			panic("similarity: σEdit propagation did not converge")
