@@ -38,6 +38,7 @@ type alignerConfig struct {
 	progress          ProgressFunc
 	workers           int
 	maxDepth          int
+	storage           core.Storage
 }
 
 // Option configures an Aligner. Options are applied in order by NewAligner;
@@ -251,8 +252,20 @@ func (al *Aligner) Align(ctx context.Context, g1, g2 *Graph) (*Alignment, error)
 		return nil, err
 	}
 	eng := al.engine(ctx)
-	c := rdf.Union(g1, g2)
-	in := core.NewInterner()
+	var c *rdf.Combined
+	var in *core.Interner
+	if al.cfg.storage != nil {
+		// Out-of-core (WithStorage): the combined graph's columns, the
+		// color arrays and the interner's pair lists come from the
+		// session storage, and refinement spills signature grouping to
+		// the storage's directory. Results are bit-identical to the
+		// in-memory path.
+		c = rdf.UnionIn(al.cfg.storage, g1, g2)
+		in = core.NewInternerIn(al.cfg.storage)
+	} else {
+		c = rdf.Union(g1, g2)
+		in = core.NewInterner()
+	}
 	st := &alignState{al: al, shared: &sessionShared{in: in}, c: c}
 	a := &Alignment{Method: al.cfg.method, Theta: al.cfg.theta, c: c, state: st}
 	if al.cfg.method == Trivial {

@@ -1,0 +1,77 @@
+package rdfalign
+
+// Out-of-core storage benchmarks: deblank alignment with the working set
+// on mmap-backed scratch files versus the Go heap. The disk engine is
+// bit-identical to the heap engine (TestLowMemoryDiskAlignment*); what
+// this benchmark tracks is the time and heap-allocation cost of trading
+// resident memory for page-cache-managed scratch. Regenerate the
+// BENCH_refine.json entries with:
+//
+//	go test -run '^$' -bench DeblankOutOfCore -benchtime=3x -count=6 .
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+var (
+	storageCorpusOnce sync.Once
+	storageCorpusG1   *Graph
+	storageCorpusG2   *Graph
+)
+
+// storageCorpus returns two adjacent full-scale EFO versions, generated
+// once. At Scale 1.0 the pair holds well over core's 4096-node spill
+// threshold of blank nodes, so disk-mode rounds take the external-merge
+// signature-grouping path.
+func storageCorpus(b *testing.B) (*Graph, *Graph) {
+	b.Helper()
+	storageCorpusOnce.Do(func() {
+		d, err := GenerateEFO(EFOConfig{Versions: 2, Scale: 1.0, Seed: 17})
+		if err != nil {
+			panic(err)
+		}
+		storageCorpusG1, storageCorpusG2 = d.Graphs[0], d.Graphs[1]
+	})
+	return storageCorpusG1, storageCorpusG2
+}
+
+func benchDeblankStorage(b *testing.B, disk bool) {
+	g1, g2 := storageCorpus(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := []Option{WithMethod(Deblank)}
+		var st Storage
+		if disk {
+			st = OutOfCore(b.TempDir())
+			opts = append(opts, WithStorage(st))
+		}
+		al, err := NewAligner(opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := al.Align(context.Background(), g1, g2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a.PairCount() == 0 {
+			b.Fatal("empty alignment")
+		}
+		if st != nil {
+			b.StopTimer()
+			st.Close()
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkDeblankOutOfCore measures a deblank alignment of the EFO pair
+// with every color array, pair list and union column on mmap-backed
+// scratch (disk) against the all-heap baseline (mem). Compare B/op: the
+// disk engine's heap allocation stays bounded while the corpus scales.
+func BenchmarkDeblankOutOfCore(b *testing.B) {
+	b.Run("mem", func(b *testing.B) { benchDeblankStorage(b, false) })
+	b.Run("disk", func(b *testing.B) { benchDeblankStorage(b, true) })
+}

@@ -24,6 +24,13 @@
 // existing <input>.snap over reparsing, and inputs named *.snap are
 // always loaded as snapshots. `rdfalign -snapshot-info file.snap`
 // prints the file's layout (verifying every section CRC) and exits.
+//
+// -storage disk switches the run to out-of-core mode for graphs that
+// crowd RAM: input graphs are served zero-copy from mmap-native
+// snapshots, the alignment working set lives in mmap-backed scratch
+// files, and large refinement rounds group their signatures by external
+// merge sort in -storage-dir. Output is byte-identical to -storage mem;
+// only the memory residency changes.
 package main
 
 import (
@@ -53,9 +60,11 @@ func main() {
 	deltaFlag := flag.Bool("delta", false, "print the change description (retained/removed/added triples)")
 	applyDelta := flag.String("apply-delta", "", "after aligning, apply the edit script FILE to the target and print the maintained post-delta alignment stats")
 	applyDeltaScratch := flag.String("apply-delta-scratch", "", "after aligning, apply the edit script FILE to the target and print the stats of a from-scratch re-alignment (same output format as -apply-delta)")
-	saveSnapshot := flag.Bool("save-snapshot", false, "after parsing each input, write a binary snapshot next to it as <input>.snap")
+	saveSnapshot := flag.Bool("save-snapshot", false, "after parsing each input, write a binary snapshot next to it as <input>.snap (the mmap-native format with -storage disk)")
 	loadSnapshot := flag.Bool("load-snapshot", false, "load <input>.snap instead of parsing when it exists")
 	snapshotInfo := flag.String("snapshot-info", "", "print the layout of a snapshot file (verifying all CRCs) and exit")
+	storageMode := flag.String("storage", "mem", "working-set storage: mem (Go heap) or disk (input graphs served from mapped snapshots, alignment arrays in mmap-backed scratch files, signature grouping spilled by external merge)")
+	storageDir := flag.String("storage-dir", "", "directory for -storage disk scratch and spill files (default: the system temp directory)")
 	flag.Parse()
 	if *snapshotInfo != "" {
 		info, err := rdfalign.ReadSnapshotInfoFile(*snapshotInfo)
@@ -82,13 +91,24 @@ func main() {
 	if *strict {
 		popts = append(popts, rdfalign.WithStrictMode())
 	}
-	lopts := loadOptions{parse: popts, preferSnapshot: *loadSnapshot, saveSnapshot: *saveSnapshot}
+	disk := false
+	switch *storageMode {
+	case "mem":
+	case "disk":
+		disk = true
+	default:
+		fatal(fmt.Errorf("unknown -storage mode %q (want mem or disk)", *storageMode))
+	}
+	lopts := loadOptions{parse: popts, preferSnapshot: *loadSnapshot, saveSnapshot: *saveSnapshot, disk: disk, diskDir: *storageDir}
 	g1 := load(flag.Arg(0), "source", lopts)
 	g2 := load(flag.Arg(1), "target", lopts)
 	fmt.Printf("source: %s\n", rdfalign.GatherStats(g1))
 	fmt.Printf("target: %s\n", rdfalign.GatherStats(g2))
 
 	opts := []rdfalign.Option{rdfalign.WithMethod(m), rdfalign.WithTheta(*theta)}
+	if disk {
+		opts = append(opts, rdfalign.WithStorage(rdfalign.OutOfCore(*storageDir)))
+	}
 	if *contextual {
 		opts = append(opts, rdfalign.WithContextual())
 	}
@@ -222,8 +242,10 @@ func loadScript(path string) *rdfalign.EditScript {
 
 type loadOptions struct {
 	parse          []rdfalign.ParseOption
-	preferSnapshot bool // load <path>.snap instead of parsing when present
-	saveSnapshot   bool // write <path>.snap after parsing
+	preferSnapshot bool   // load <path>.snap instead of parsing when present
+	saveSnapshot   bool   // write <path>.snap after parsing
+	disk           bool   // -storage disk: serve graphs from mapped snapshots
+	diskDir        string // scratch directory for disk mode ("" = temp dir)
 }
 
 // loadSnapshot opens a snapshot of either kind and returns a graph: the
@@ -249,6 +271,14 @@ func loadSnapshot(path string) (*rdfalign.Graph, error) {
 // saveSnapshot, that sidecar is written after parsing.
 func load(path, role string, opts loadOptions) *rdfalign.Graph {
 	if strings.HasSuffix(path, ".snap") {
+		if opts.disk {
+			// Zero-copy when the file carries the mmap-native section;
+			// archive snapshots (and plain GRPH files on platforms
+			// without mmap) fall through to the heap loaders below.
+			if g, err := rdfalign.OpenGraphSnapshotMapped(path); err == nil {
+				return g
+			}
+		}
 		g, err := loadSnapshot(path)
 		if err != nil {
 			fatal(err)
@@ -257,6 +287,11 @@ func load(path, role string, opts loadOptions) *rdfalign.Graph {
 	}
 	snapPath := path + ".snap"
 	if opts.preferSnapshot {
+		if opts.disk {
+			if g, err := rdfalign.OpenGraphSnapshotMapped(snapPath); err == nil {
+				return g
+			}
+		}
 		if g, err := loadSnapshot(snapPath); err == nil {
 			return g
 		} else if !os.IsNotExist(err) {
@@ -278,12 +313,43 @@ func load(path, role string, opts loadOptions) *rdfalign.Graph {
 		fatal(err)
 	}
 	if opts.saveSnapshot {
-		if err := rdfalign.WriteGraphSnapshotFile(snapPath, g); err != nil {
+		write := rdfalign.WriteGraphSnapshotFile
+		if opts.disk {
+			write = rdfalign.WriteGraphSnapshotMappedFile
+		}
+		if err := write(snapPath, g); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "rdfalign: wrote snapshot %s\n", snapPath)
 	}
+	if opts.disk {
+		return remapDisk(g, opts.diskDir)
+	}
 	return g
+}
+
+// remapDisk moves a freshly parsed graph out of the Go heap: it writes the
+// graph as an mmap-native snapshot in the disk-mode scratch directory,
+// reopens it mapped, and deletes the file (the mapping keeps the data
+// reachable). The heap copy becomes garbage; from here on the graph's
+// columns cost page-cache residency, not heap. On platforms without mmap
+// the reopen decodes back to the heap and the round-trip is a no-op.
+func remapDisk(g *rdfalign.Graph, dir string) *rdfalign.Graph {
+	f, err := os.CreateTemp(dir, "rdfalign-graph-*.snap")
+	if err != nil {
+		fatal(err)
+	}
+	path := f.Name()
+	f.Close()
+	if err := rdfalign.WriteGraphSnapshotMappedFile(path, g); err != nil {
+		fatal(err)
+	}
+	mg, err := rdfalign.OpenGraphSnapshotMapped(path)
+	if err != nil {
+		fatal(err)
+	}
+	os.Remove(path)
+	return mg
 }
 
 func fatal(err error) {

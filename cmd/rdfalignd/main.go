@@ -60,8 +60,11 @@ func main() {
 		alignJobs    = flag.Int("align-jobs", 1, "max concurrently running alignment jobs")
 		alignWorkers = flag.Int("align-workers", 0, "worker goroutines per alignment (0 = all cores)")
 		queryTimeout = flag.Duration("query-timeout", 10*time.Second, "per-query deadline, including budget wait")
-		maxUpload    = flag.Int64("max-upload", 1<<30, "max request body bytes")
+		maxBody      = flag.Int64("max-body-bytes", server.DefaultMaxUploadBytes, "max request body bytes; oversized uploads are rejected with 413")
+		maxUpload    = flag.Int64("max-upload", 0, "deprecated alias for -max-body-bytes (takes precedence when set)")
 		jobHistory   = flag.Int("job-history", server.DefaultJobHistory, "terminal jobs retained per archive before the oldest are evicted")
+		storageMode  = flag.String("storage", "mem", "alignment working-set storage: mem (Go heap) or disk (mmap-backed scratch files + spilled signature grouping in -storage-dir; scratch space is reclaimed only at process exit)")
+		storageDir   = flag.String("storage-dir", "", "directory for -storage disk scratch and spill files (default: the system temp directory)")
 	)
 	archives := map[string]string{}
 	flag.Func("archive", "archive to load at startup, as name=snapshot-path (repeatable)", func(v string) error {
@@ -77,10 +80,14 @@ func main() {
 	})
 	flag.Parse()
 
-	if err := validateFlags(*queryWorkers, *alignJobs, *alignWorkers, *jobHistory, *queryTimeout, *maxUpload); err != nil {
+	limit := *maxBody
+	if *maxUpload > 0 {
+		limit = *maxUpload
+	}
+	if err := validateFlags(*queryWorkers, *alignJobs, *alignWorkers, *jobHistory, *queryTimeout, limit, *storageMode); err != nil {
 		log.Fatal(err)
 	}
-	if err := run(*addr, archives, *method, *theta, *resolveAmbig, *queryWorkers, *alignJobs, *alignWorkers, *jobHistory, *queryTimeout, *maxUpload); err != nil {
+	if err := run(*addr, archives, *method, *theta, *resolveAmbig, *queryWorkers, *alignJobs, *alignWorkers, *jobHistory, *queryTimeout, limit, *storageMode, *storageDir); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -90,7 +97,7 @@ func main() {
 // deadlock every query; a zero upload bound would reject every body). The
 // error wording follows similarity.ValidateTheta's convention: the value,
 // its accepted range, and what the special value selects.
-func validateFlags(queryWorkers, alignJobs, alignWorkers, jobHistory int, queryTimeout time.Duration, maxUpload int64) error {
+func validateFlags(queryWorkers, alignJobs, alignWorkers, jobHistory int, queryTimeout time.Duration, maxUpload int64, storageMode string) error {
 	if queryWorkers < 1 {
 		return fmt.Errorf("-query-workers %d outside [1, ∞)", queryWorkers)
 	}
@@ -107,7 +114,10 @@ func validateFlags(queryWorkers, alignJobs, alignWorkers, jobHistory int, queryT
 		return fmt.Errorf("-query-timeout %v outside (0, ∞)", queryTimeout)
 	}
 	if maxUpload < 1 {
-		return fmt.Errorf("-max-upload %d outside [1, ∞) bytes", maxUpload)
+		return fmt.Errorf("-max-body-bytes %d outside [1, ∞) bytes", maxUpload)
+	}
+	if storageMode != "mem" && storageMode != "disk" {
+		return fmt.Errorf("unknown -storage mode %q (want mem or disk)", storageMode)
 	}
 	return nil
 }
@@ -120,7 +130,7 @@ func methodNames() string {
 	return strings.Join(names, ", ")
 }
 
-func run(addr string, archives map[string]string, method string, theta float64, resolveAmbig bool, queryWorkers, alignJobs, alignWorkers, jobHistory int, queryTimeout time.Duration, maxUpload int64) error {
+func run(addr string, archives map[string]string, method string, theta float64, resolveAmbig bool, queryWorkers, alignJobs, alignWorkers, jobHistory int, queryTimeout time.Duration, maxUpload int64, storageMode, storageDir string) error {
 	m, err := rdfalign.ParseMethod(method)
 	if err != nil {
 		return err
@@ -132,6 +142,12 @@ func run(addr string, archives map[string]string, method string, theta float64, 
 	}
 	if resolveAmbig {
 		opts = append(opts, rdfalign.WithResolveAmbiguous())
+	}
+	if storageMode == "disk" {
+		// Out-of-core alignment arrays: mmap-backed scratch files in the
+		// storage directory instead of the Go heap, with external-merge
+		// signature grouping. Results are bit-identical to heap mode.
+		opts = append(opts, rdfalign.WithStorage(rdfalign.OutOfCore(storageDir)))
 	}
 	base, err := rdfalign.NewAligner(opts...)
 	if err != nil {

@@ -11,7 +11,7 @@ import (
 // and other in-range values pass.
 func TestValidateFlags(t *testing.T) {
 	ok := func(queryWorkers, alignJobs, alignWorkers, jobHistory int, queryTimeout time.Duration, maxUpload int64) error {
-		return validateFlags(queryWorkers, alignJobs, alignWorkers, jobHistory, queryTimeout, maxUpload)
+		return validateFlags(queryWorkers, alignJobs, alignWorkers, jobHistory, queryTimeout, maxUpload, "mem")
 	}
 	if err := ok(16, 1, 0, 64, 10*time.Second, 1<<30); err != nil {
 		t.Fatalf("defaults rejected: %v", err)
@@ -32,7 +32,8 @@ func TestValidateFlags(t *testing.T) {
 		{"job-history zero", ok(1, 1, 0, 0, time.Second, 1), "-job-history 0 outside [1, ∞)"},
 		{"query-timeout zero", ok(1, 1, 0, 64, 0, 1), "-query-timeout 0s outside (0, ∞)"},
 		{"query-timeout negative", ok(1, 1, 0, 64, -time.Second, 1), "-query-timeout -1s outside (0, ∞)"},
-		{"max-upload zero", ok(1, 1, 0, 64, time.Second, 0), "-max-upload 0 outside [1, ∞)"},
+		{"max-body-bytes zero", ok(1, 1, 0, 64, time.Second, 0), "-max-body-bytes 0 outside [1, ∞)"},
+		{"bad storage mode", validateFlags(1, 1, 0, 64, time.Second, 1, "floppy"), `unknown -storage mode "floppy"`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -194,6 +194,39 @@
 // guarantee; see the internal/snapshot package for the format layout and
 // the compatibility policy.
 //
+// # Storage
+//
+// Backing memory for the alignment working set is pluggable. The Storage
+// interface is an append-only allocation arena behind the Aligner: it
+// hands out the union graph's columns, the partition color arrays and
+// the interner's signature pair lists. InMemory (the default) allocates
+// from the Go heap and needs no cleanup. OutOfCore(dir) allocates from
+// mmap-backed scratch files created unlinked in dir — the working set
+// then lives outside the Go heap, where GOMEMLIMIT does not count it and
+// the kernel pages it out under memory pressure — and additionally
+// switches deblank refinement rounds with large dirty frontiers to
+// sequential scans with external-merge signature grouping, so the
+// fixpoint's transient state spills to sorted runs on disk instead of a
+// heap hash table. Select it per session:
+//
+//	st := rdfalign.OutOfCore(scratch)
+//	defer st.Close() // releases every mapping; results stay valid until then
+//	al, _ := rdfalign.NewAligner(rdfalign.WithStorage(st))
+//
+// The backend contract extends the bit-identity guarantee: colorings,
+// iteration counts and all derived results are identical — color for
+// color — across storage backends, worker counts and hash seeds
+// (property-tested). A Storage must return zeroed, non-overlapping,
+// arbitrarily long-lived allocations; it is not safe for use by two
+// concurrent alignments, and its memory is reclaimed by Close (or, for
+// the unlinked scratch files, at process exit at the latest), never by
+// the garbage collector. On platforms without mmap OutOfCore degrades to
+// heap allocation, so code selecting it stays portable. The companion
+// load path is OpenGraphSnapshotMapped, which serves a graph's columns
+// zero-copy from a mapped snapshot file in O(1) heap; cmd/rdfalign
+// -storage disk wires both together, keeping graphs and working set
+// off-heap end to end.
+//
 // # Service
 //
 // cmd/rdfalignd serves resident archives over HTTP — alignment as a

@@ -73,11 +73,18 @@ type Interner struct {
 	// table resolves into it for collision checking, derivation trees are
 	// rendered from it, and tests inspect the DAG through it.
 	composites []compositeEntry
-	// pairArena backs the stored pair lists of 'P'-kind entries so that
-	// interning a new composite does not allocate per color. Entries hold
-	// sub-slices of earlier arena generations; they stay valid when the
-	// arena grows because stored lists are never appended to.
-	pairArena []ColorPair
+	// pairs backs the stored pair lists of composite entries so that
+	// interning a new composite does not allocate per color. The store is
+	// chunked — stored lists are capped sub-slices of chunks that never
+	// move — and draws its chunks from st when the interner is
+	// storage-backed (NewInternerIn), keeping the bulk of the interner's
+	// footprint out of the Go heap in out-of-core mode.
+	pairs pairStore
+	// st is the session storage color arrays and pair chunks come from;
+	// nil means the Go heap. The composites table above deliberately stays
+	// on the heap regardless: its entries hold Go slice headers, which
+	// must never live in memory the garbage collector does not trace.
+	st Storage
 }
 
 // compositeEntry kinds. sigKindPairs entries come from Composite (one
@@ -125,6 +132,35 @@ func NewInternerSeeded(seed uint64) *Interner {
 	in.blank = in.Fresh()
 	in.labels[rdf.BlankLabel()] = in.blank
 	return in
+}
+
+// NewInternerIn returns an interner whose stored pair lists — and the
+// color arrays of partitions built on it — are allocated from st. A nil
+// st is equivalent to NewInterner. The storage backend never changes the
+// colors assigned; it only moves the arrays out of the Go heap.
+func NewInternerIn(st Storage) *Interner {
+	in := NewInterner()
+	in.st = st
+	in.pairs.st = st
+	return in
+}
+
+// allocColors allocates a color array through the interner's storage
+// (the Go heap when the interner is not storage-backed).
+func (in *Interner) allocColors(n int) []Color {
+	if in.st == nil {
+		return make([]Color, n)
+	}
+	return in.st.AllocColors(n)
+}
+
+// spillDir returns the directory for external-merge spill runs, when the
+// interner's storage enables spilling.
+func (in *Interner) spillDir() (string, bool) {
+	if in.st == nil {
+		return "", false
+	}
+	return in.st.SpillDir()
 }
 
 // Size returns the number of colors allocated so far.
@@ -230,13 +266,45 @@ func (in *Interner) internPairs(h uint64, prev Color, pairs []ColorPair) Color {
 	return c
 }
 
-// storePairs copies pairs into the interner's arena and returns the stored
-// view. The returned slice is never appended to, so later arena growth
-// cannot alias it.
+// storePairs copies pairs into the interner's pair store and returns the
+// stored view. The returned slice is never appended to, so later store
+// growth cannot alias it.
 func (in *Interner) storePairs(pairs []ColorPair) []ColorPair {
-	lo := len(in.pairArena)
-	in.pairArena = append(in.pairArena, pairs...)
-	return in.pairArena[lo:len(in.pairArena):len(in.pairArena)]
+	return in.pairs.store(pairs)
+}
+
+// pairChunkLen is the pair-store chunk granularity (512 KiB of pairs).
+const pairChunkLen = 1 << 16
+
+// pairStore is a chunked append-only arena for stored pair lists. Chunks
+// are allocated from st (the Go heap when st is nil) and never moved or
+// reallocated, so the capped sub-slices handed out stay valid forever. A
+// list longer than a chunk gets a dedicated chunk; the abandoned tail of
+// the previous chunk is bounded by the longest list stored.
+type pairStore struct {
+	st  Storage
+	cur []ColorPair // active chunk; appended to in place, never grown
+}
+
+func (ps *pairStore) store(src []ColorPair) []ColorPair {
+	n := len(src)
+	if n == 0 {
+		return nil
+	}
+	if cap(ps.cur)-len(ps.cur) < n {
+		size := pairChunkLen
+		if n > size {
+			size = n
+		}
+		if ps.st == nil {
+			ps.cur = make([]ColorPair, 0, size)
+		} else {
+			ps.cur = ps.st.AllocPairs(size)[:0]
+		}
+	}
+	lo := len(ps.cur)
+	ps.cur = append(ps.cur, src...)
+	return ps.cur[lo:len(ps.cur):len(ps.cur)]
 }
 
 // CompositeDirected is Composite extended with a second pair set gathered

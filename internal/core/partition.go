@@ -22,7 +22,7 @@ func NewPartition(in *Interner, colors []Color) *Partition {
 // LabelPartition returns the node labeling partition ℓ_G: nodes grouped by
 // label, with all blank nodes in one class (§2.2).
 func LabelPartition(g *rdf.Graph, in *Interner) *Partition {
-	colors := make([]Color, g.NumNodes())
+	colors := in.allocColors(g.NumNodes())
 	g.Nodes(func(n rdf.NodeID) {
 		colors[n] = in.Base(g.Label(n))
 	})
@@ -33,7 +33,7 @@ func LabelPartition(g *rdf.Graph, in *Interner) *Partition {
 // their label; each blank node is colored by itself (a fresh color), so
 // trivial alignment aligns only non-blank nodes with equal labels.
 func TrivialPartition(g *rdf.Graph, in *Interner) *Partition {
-	colors := make([]Color, g.NumNodes())
+	colors := in.allocColors(g.NumNodes())
 	g.Nodes(func(n rdf.NodeID) {
 		if g.IsBlank(n) {
 			colors[n] = in.Fresh()
@@ -61,9 +61,11 @@ func (p *Partition) Colors() []Color { return p.colors }
 // SetColor recolors a single node. Use on partitions you own.
 func (p *Partition) SetColor(n rdf.NodeID, c Color) { p.colors[n] = c }
 
-// Clone returns a deep copy sharing the interner.
+// Clone returns a deep copy sharing the interner. The copy's color array
+// comes from the interner's storage backend, like the originals from
+// LabelPartition and TrivialPartition.
 func (p *Partition) Clone() *Partition {
-	colors := make([]Color, len(p.colors))
+	colors := p.in.allocColors(len(p.colors))
 	copy(colors, p.colors)
 	return &Partition{in: p.in, colors: colors}
 }

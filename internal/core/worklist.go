@@ -272,6 +272,7 @@ func (e *Engine) refineWorklist(g *rdf.Graph, p *Partition, x []rdf.NodeID, trac
 	changedNodes := make([]rdf.NodeID, 0, len(dirty))
 	var scratch []ColorPair
 	var pg *parallelGatherer
+	spillDir, spill := cur.in.spillDir()
 	for iter := 0; ; iter++ {
 		if err := e.Hooks.Err(); err != nil {
 			return nil, 0, err
@@ -283,7 +284,18 @@ func (e *Engine) refineWorklist(g *rdf.Graph, p *Partition, x []rdf.NodeID, trac
 			panic(fmt.Sprintf("core: Refine (worklist) did not stabilise after %d iterations", iter))
 		}
 		changes = changes[:0]
-		if e.Workers > 1 && len(dirty) >= parallelThreshold {
+		if spill && len(dirty) >= extMergeThreshold {
+			// Out-of-core storage: group this round's unseen signatures by
+			// external merge sort in the spill directory (extsort.go)
+			// instead of buffering them in the heap. Bit-identical to the
+			// in-memory paths below; small frontiers (the deep tail of a
+			// fixpoint) fall through to them.
+			var err error
+			changes, err = extMergeRound(g, cur, dirty, changes, spillDir)
+			if err != nil {
+				return nil, 0, err
+			}
+		} else if e.Workers > 1 && len(dirty) >= parallelThreshold {
 			if pg == nil {
 				pg = newParallelGatherer(e.Workers)
 			}

@@ -1,0 +1,89 @@
+//go:build unix
+
+package mmapfile
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+const supported = true
+
+// Open maps the file at path read-only in its entirety. An empty file maps
+// to an empty (but valid) Mapping.
+func Open(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &Mapping{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("mmapfile: %s: size %d exceeds the addressable range", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmapfile: mmap %s: %w", path, err)
+	}
+	return &Mapping{data: data}, nil
+}
+
+// Close unmaps the file. It is idempotent; the mapped bytes must no longer
+// be referenced after the first call.
+func (m *Mapping) Close() error {
+	if m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	return syscall.Munmap(data)
+}
+
+// NewRegion maps size writable bytes backed by a fresh temporary file in
+// dir (os.TempDir() when dir is empty). The file is unlinked immediately
+// after mapping, so a crash leaves nothing behind and Close has no
+// filesystem obligations. The region's pages count against the page cache,
+// not the Go heap.
+func NewRegion(dir string, size int) (*Region, error) {
+	if size <= 0 {
+		return &Region{}, nil
+	}
+	f, err := os.CreateTemp(dir, "rdfalign-spill-*")
+	if err != nil {
+		return nil, err
+	}
+	// Unlink first: from here on the file exists only through the mapping.
+	name := f.Name()
+	defer f.Close()
+	if err := os.Remove(name); err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(int64(size)); err != nil {
+		return nil, err
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmapfile: mmap %d-byte region in %q: %w", size, dir, err)
+	}
+	return &Region{data: data}, nil
+}
+
+// Close unmaps the region. It is idempotent; the region's bytes must no
+// longer be referenced after the first call.
+func (r *Region) Close() error {
+	if r.data == nil || r.heap {
+		r.data = nil
+		return nil
+	}
+	data := r.data
+	r.data = nil
+	return syscall.Munmap(data)
+}

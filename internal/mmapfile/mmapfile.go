@@ -1,0 +1,57 @@
+// Package mmapfile wraps the platform's file-mapping primitive behind two
+// small abstractions used by the out-of-core storage paths:
+//
+//   - Mapping: a read-only whole-file mapping, used by snapshot.OpenGraphMapped
+//     to serve graph columns zero-copy from a snapshot file. The kernel pages
+//     the file in on demand and may evict clean pages under memory pressure,
+//     so a mapped graph costs page-cache residency, not Go heap.
+//   - Region: a writable scratch mapping backed by an unlinked temporary
+//     file, used by the core engine's spillable stores (color arrays, pair
+//     arenas, hash-table slots). Because the file is unlinked the moment it
+//     is mapped, a crash leaks nothing; dirty pages are written back to the
+//     filesystem under memory pressure instead of counting against
+//     GOMEMLIMIT, which only tracks the Go heap.
+//
+// On platforms without mmap support (Supported() == false) both constructors
+// return an error and callers fall back to their heap paths; Region callers
+// may instead use NewRegion's heap fallback mode (see FallbackRegion).
+//
+// Lifetime rules: slices derived from a Mapping or Region do NOT keep it
+// alive — the backing array is outside the Go heap, so the garbage collector
+// never traces through it. Whoever holds derived slices must also hold a
+// reference to the Mapping/Region (or an owner that does) and must not Close
+// it while the slices are in use. Nothing in this package installs
+// finalizers: an unreachable mapping is reclaimed at process exit (the
+// backing files are already unlinked), never behind a live slice's back.
+package mmapfile
+
+import "fmt"
+
+// Supported reports whether this platform can map files into memory. When
+// false, Open and NewRegion fail with ErrUnsupported and callers use their
+// heap fallbacks.
+func Supported() bool { return supported }
+
+// ErrUnsupported is returned by Open and NewRegion on platforms without
+// file mapping.
+var ErrUnsupported = fmt.Errorf("mmapfile: not supported on this platform")
+
+// Mapping is a read-only mapping of an entire file.
+type Mapping struct {
+	data []byte
+}
+
+// Data returns the mapped bytes. The slice is valid until Close.
+func (m *Mapping) Data() []byte { return m.data }
+
+// Len returns the mapped length in bytes.
+func (m *Mapping) Len() int { return len(m.data) }
+
+// Region is a writable mapping backed by an unlinked temporary file.
+type Region struct {
+	data []byte
+	heap bool // heap fallback, nothing to unmap
+}
+
+// Data returns the writable bytes. The slice is valid until Close.
+func (r *Region) Data() []byte { return r.data }

@@ -158,7 +158,8 @@ func NewEditor(g *Graph) *Editor {
 		uris: make(map[string]NodeID, g.NumNodes()),
 		lits: make(map[string]NodeID),
 	}
-	for i, l := range g.labels {
+	for i := 0; i < g.NumNodes(); i++ {
+		l := g.Label(NodeID(i))
 		switch l.Kind {
 		case URI:
 			e.uris[l.Value] = NodeID(i)
@@ -282,13 +283,13 @@ func (e *Editor) Apply(ops []EditOp) (*EditResult, error) {
 		}
 	}
 
-	labels := g.labels
+	labels := g.labelsAll()
 	if len(newLabels) > 0 {
 		// Appending may write into the old slice's spare capacity beyond its
 		// length, which no view of the old graph can observe; successive
 		// edits therefore share label storage instead of copying |N| labels
 		// per delta.
-		labels = append(g.labels, newLabels...)
+		labels = append(labels, newLabels...)
 	}
 	added := sortedTripleSet(addSet)
 	removed := sortedTripleSet(delSet)
@@ -454,9 +455,9 @@ func mergeEdits(base, added, removed []Triple) []Triple {
 // g2's new nodes take the IDs following the old union's.
 func RebaseUnion(c *Combined, g2 *Graph, added, removed []Triple) *Combined {
 	off := NodeID(c.N1)
-	labels := c.Graph.labels
+	labels := c.Graph.labelsAll()
 	if g2.NumNodes() > c.N2 {
-		labels = append(c.Graph.labels, g2.labels[c.N2:]...)
+		labels = append(labels, g2.labelsAll()[c.N2:]...)
 	}
 	shift := func(ts []Triple) []Triple {
 		out := make([]Triple, len(ts))

@@ -47,12 +47,13 @@ func patchedGraph(old *Graph, name string, labels []Label, added, removed []Trip
 func splicedGraph(old *Graph, name string, labels []Label, added, removed []Triple) *Graph {
 	g := &Graph{
 		name:   name,
+		nnodes: len(labels),
 		labels: labels,
 		ntrip:  old.ntrip + len(added) - len(removed),
 		blanks: old.blanks,
 		lits:   old.lits,
 	}
-	for _, l := range labels[len(old.labels):] {
+	for _, l := range labels[old.NumNodes():] {
 		switch l.Kind {
 		case Blank:
 			g.blanks++
@@ -76,8 +77,8 @@ func edgeLess(a, b Edge) bool {
 // patchOut builds g's out-CSR by splicing old's: block copies for untouched
 // subjects, a three-way sorted merge for each touched one.
 func patchOut(g, old *Graph, added, removed []Triple) {
-	n := len(g.labels)
-	nOld := len(old.labels)
+	n := g.NumNodes()
+	nOld := old.NumNodes()
 	idx := make([]int32, n+1)
 	edges := make([]Edge, 0, g.ntrip)
 	prev := 0
@@ -159,8 +160,8 @@ func patchDependents(g, old *Graph, added, removed []Triple) {
 	if old.depIndex == nil {
 		return
 	}
-	n := len(g.labels)
-	nOld := len(old.labels)
+	n := g.NumNodes()
+	nOld := old.NumNodes()
 	adds := make(map[NodeID][]NodeID)
 	rems := make(map[NodeID][]NodeID)
 	// Triples arrive sorted by (S, P, O), so per-key subject lists build

@@ -33,7 +33,7 @@ func (g *Graph) Raw() Raw {
 	g.depOnce.Do(g.buildDependents)
 	return Raw{
 		Name:     g.name,
-		Labels:   g.labels,
+		Labels:   g.labelsAll(),
 		Triples:  g.Triples(),
 		OutIndex: g.outIndex,
 		DepIndex: g.depIndex,
@@ -76,7 +76,7 @@ func FromRaw(r Raw) (*Graph, error) {
 			return nil, fmt.Errorf("rdf: raw out index decreases at node %d", i)
 		}
 	}
-	g := &Graph{name: r.Name, labels: r.Labels, triples: r.Triples, ntrip: len(r.Triples), outIndex: r.OutIndex}
+	g := &Graph{name: r.Name, nnodes: n, labels: r.Labels, triples: r.Triples, ntrip: len(r.Triples), outIndex: r.OutIndex}
 	g.outEdges = make([]Edge, len(r.Triples))
 	for i, t := range r.Triples {
 		// Triples are sorted by subject, so the out-edge column is the

@@ -106,10 +106,23 @@ type Edge struct {
 }
 
 // Graph is an immutable triple graph. Construct one with a Builder, by
-// parsing N-Triples, or by Union. The zero Graph is empty and usable.
+// parsing N-Triples, by Union, or — for read-only mapped snapshots — with
+// FromColumns. The zero Graph is empty and usable.
+//
+// Storage: the default Graph keeps every column in Go slices (labels,
+// outIndex/outEdges, the lazy adjacencies). A Graph built by FromColumns
+// leaves labels nil and serves label lookups through its Columns backing
+// (store.go); the CSR columns are cached slice views into that backing, so
+// the hot Out/Dependents paths are identical for both storages.
 type Graph struct {
 	name   string
-	labels []Label
+	nnodes int
+	labels []Label // nil for column-backed graphs; use Label(n)/Kind(n)
+	kinds  []Kind  // per-node label kinds for column-backed graphs
+	cols   Columns // non-nil for column-backed graphs
+	// alloc, when non-nil, supplies backing storage for the large
+	// pointer-free columns the lazy builders materialise (see Allocator).
+	alloc Allocator
 
 	// triples is the edge list sorted by (S, P, O), deduplicated. Spliced
 	// graphs (patch.go) leave it nil and materialise it on first Triples()
@@ -153,7 +166,7 @@ type Graph struct {
 func (g *Graph) Name() string { return g.name }
 
 // NumNodes returns |N_G|.
-func (g *Graph) NumNodes() int { return len(g.labels) }
+func (g *Graph) NumNodes() int { return g.nnodes }
 
 // NumTriples returns |E_G|.
 func (g *Graph) NumTriples() int { return g.ntrip }
@@ -165,20 +178,47 @@ func (g *Graph) NumBlanks() int { return g.blanks }
 func (g *Graph) NumLiterals() int { return g.lits }
 
 // NumURIs returns |URIs(G)|.
-func (g *Graph) NumURIs() int { return len(g.labels) - g.blanks - g.lits }
+func (g *Graph) NumURIs() int { return g.nnodes - g.blanks - g.lits }
 
 // Label returns the label of node n. It panics if n is out of range, which
-// always indicates a programming error (node IDs are never user input).
-func (g *Graph) Label(n NodeID) Label { return g.labels[n] }
+// always indicates a programming error (node IDs are never user input). On
+// a column-backed graph the returned value may share its string bytes with
+// the backing storage (zero-copy); it is valid until Close.
+func (g *Graph) Label(n NodeID) Label {
+	if g.labels != nil {
+		return g.labels[n]
+	}
+	return g.cols.Label(n)
+}
+
+// Kind returns the label kind of node n without materialising the label
+// value.
+func (g *Graph) Kind(n NodeID) Kind {
+	if g.labels != nil {
+		return g.labels[n].Kind
+	}
+	return g.kinds[n]
+}
 
 // IsLiteral reports whether node n carries a literal label.
-func (g *Graph) IsLiteral(n NodeID) bool { return g.labels[n].Kind == Literal }
+func (g *Graph) IsLiteral(n NodeID) bool { return g.Kind(n) == Literal }
 
 // IsBlank reports whether node n is blank.
-func (g *Graph) IsBlank(n NodeID) bool { return g.labels[n].Kind == Blank }
+func (g *Graph) IsBlank(n NodeID) bool { return g.Kind(n) == Blank }
 
 // IsURI reports whether node n carries a URI label.
-func (g *Graph) IsURI(n NodeID) bool { return g.labels[n].Kind == URI }
+func (g *Graph) IsURI(n NodeID) bool { return g.Kind(n) == URI }
+
+// Close releases the graph's backing storage, if any: for a mapped graph
+// (FromColumns over a snapshot mapping) it unmaps the file, after which the
+// graph — and any label strings or derived graphs aliasing the mapping —
+// must no longer be used. For ordinary heap graphs Close is a no-op.
+func (g *Graph) Close() error {
+	if g.cols != nil {
+		return g.cols.Close()
+	}
+	return nil
+}
 
 // Out returns the outbound neighbourhood out_G(n) as a slice sorted by
 // (P, O). The slice aliases the graph's internal storage and must not be
@@ -210,22 +250,22 @@ func (g *Graph) InDegree(n NodeID) int {
 
 func (g *Graph) buildIn() {
 	ts := g.Triples()
-	g.inIndex = make([]int32, len(g.labels)+1)
+	g.inIndex = g.allocIndex(g.nnodes + 1)
 	for _, t := range ts {
 		g.inIndex[t.O+1]++
 	}
-	for i := 1; i <= len(g.labels); i++ {
+	for i := 1; i <= g.nnodes; i++ {
 		g.inIndex[i] += g.inIndex[i-1]
 	}
-	g.inEdges = make([]Edge, len(ts))
-	cursor := make([]int32, len(g.labels))
-	copy(cursor, g.inIndex[:len(g.labels)])
+	g.inEdges = g.allocEdges(len(ts))
+	cursor := make([]int32, g.nnodes)
+	copy(cursor, g.inIndex[:g.nnodes])
 	for _, t := range ts {
 		g.inEdges[cursor[t.O]] = Edge{P: t.P, O: t.S}
 		cursor[t.O]++
 	}
 	// Sort each node's in-edge run by (P, O) for determinism.
-	for n := 0; n < len(g.labels); n++ {
+	for n := 0; n < g.nnodes; n++ {
 		run := g.inEdges[g.inIndex[n]:g.inIndex[n+1]]
 		sort.Slice(run, func(i, j int) bool {
 			if run[i].P != run[j].P {
@@ -255,21 +295,21 @@ func (g *Graph) PredOccDegree(n NodeID) int {
 
 func (g *Graph) buildPredOcc() {
 	ts := g.Triples()
-	g.poIndex = make([]int32, len(g.labels)+1)
+	g.poIndex = g.allocIndex(g.nnodes + 1)
 	for _, t := range ts {
 		g.poIndex[t.P+1]++
 	}
-	for i := 1; i <= len(g.labels); i++ {
+	for i := 1; i <= g.nnodes; i++ {
 		g.poIndex[i] += g.poIndex[i-1]
 	}
-	g.poEdges = make([]Edge, len(ts))
-	cursor := make([]int32, len(g.labels))
-	copy(cursor, g.poIndex[:len(g.labels)])
+	g.poEdges = g.allocEdges(len(ts))
+	cursor := make([]int32, g.nnodes)
+	copy(cursor, g.poIndex[:g.nnodes])
 	for _, t := range ts {
 		g.poEdges[cursor[t.P]] = Edge{P: t.S, O: t.O}
 		cursor[t.P]++
 	}
-	for n := 0; n < len(g.labels); n++ {
+	for n := 0; n < g.nnodes; n++ {
 		run := g.poEdges[g.poIndex[n]:g.poIndex[n+1]]
 		sort.Slice(run, func(i, j int) bool {
 			if run[i].P != run[j].P {
@@ -300,7 +340,7 @@ func (g *Graph) buildDependents() {
 		return
 	}
 	ts := g.Triples()
-	n := len(g.labels)
+	n := g.nnodes
 	idx := make([]int32, n+1)
 	for _, t := range ts {
 		idx[t.P+1]++
@@ -309,7 +349,7 @@ func (g *Graph) buildDependents() {
 	for i := 1; i <= n; i++ {
 		idx[i] += idx[i-1]
 	}
-	nodes := make([]NodeID, 2*len(ts))
+	nodes := g.allocNodes(2 * len(ts))
 	cursor := make([]int32, n)
 	copy(cursor, idx[:n])
 	for _, t := range ts {
@@ -322,7 +362,7 @@ func (g *Graph) buildDependents() {
 	// so runs arrive already sorted; deduplicate them with an in-place
 	// compaction (the write position never overtakes the read position).
 	out := nodes[:0]
-	newIdx := make([]int32, n+1)
+	newIdx := g.allocIndex(n + 1)
 	for i := 0; i < n; i++ {
 		prev := NodeID(-1)
 		for j := idx[i]; j < idx[i+1]; j++ {
@@ -352,8 +392,8 @@ func (g *Graph) buildTriples() {
 	if g.triples != nil || g.ntrip == 0 {
 		return
 	}
-	ts := make([]Triple, 0, g.ntrip)
-	for n := 0; n < len(g.labels); n++ {
+	ts := g.allocTriples(g.ntrip)[:0]
+	for n := 0; n < g.nnodes; n++ {
 		for _, e := range g.outEdges[g.outIndex[n]:g.outIndex[n+1]] {
 			ts = append(ts, Triple{S: NodeID(n), P: e.P, O: e.O})
 		}
@@ -361,9 +401,25 @@ func (g *Graph) buildTriples() {
 	g.triples = ts
 }
 
+// EachTriple calls yield for every triple in (S, P, O) order, stopping
+// early when yield returns false. It iterates the out-CSR directly and
+// never materialises the flat triple list, so streaming serialisers can
+// walk a spliced or mapped graph without the O(|E|) allocation of
+// Triples(). The order is identical to Triples() (the CSR holds the same
+// edges in the same order).
+func (g *Graph) EachTriple(yield func(Triple) bool) {
+	for n := 0; n < g.nnodes; n++ {
+		for _, e := range g.outEdges[g.outIndex[n]:g.outIndex[n+1]] {
+			if !yield(Triple{S: NodeID(n), P: e.P, O: e.O}) {
+				return
+			}
+		}
+	}
+}
+
 // Nodes calls f for every node in increasing ID order.
 func (g *Graph) Nodes(f func(NodeID)) {
-	for n := 0; n < len(g.labels); n++ {
+	for n := 0; n < g.nnodes; n++ {
 		f(NodeID(n))
 	}
 }
@@ -372,8 +428,8 @@ func (g *Graph) Nodes(f func(NodeID)) {
 // linear scan intended for tests and small tools; algorithms should carry
 // node IDs instead. The boolean reports whether the node exists.
 func (g *Graph) FindURI(uri string) (NodeID, bool) {
-	for i, l := range g.labels {
-		if l.Kind == URI && l.Value == uri {
+	for i := 0; i < g.nnodes; i++ {
+		if l := g.Label(NodeID(i)); l.Kind == URI && l.Value == uri {
 			return NodeID(i), true
 		}
 	}
@@ -382,8 +438,8 @@ func (g *Graph) FindURI(uri string) (NodeID, bool) {
 
 // FindLiteral is the literal counterpart of FindURI.
 func (g *Graph) FindLiteral(v string) (NodeID, bool) {
-	for i, l := range g.labels {
-		if l.Kind == Literal && l.Value == v {
+	for i := 0; i < g.nnodes; i++ {
+		if l := g.Label(NodeID(i)); l.Kind == Literal && l.Value == v {
 			return NodeID(i), true
 		}
 	}
@@ -421,15 +477,23 @@ func freeze(name string, labels []Label, triples []Triple) *Graph {
 // that invariant with sorted merges, so rebuilding a graph after a sparse
 // edit costs a linear CSR pass instead of a full sort.
 func freezeSorted(name string, labels []Label, triples []Triple) *Graph {
-	g := &Graph{name: name, labels: labels, triples: triples, ntrip: len(triples)}
-	g.outIndex = make([]int32, len(labels)+1)
+	return freezeSortedIn(nil, name, labels, triples)
+}
+
+// freezeSortedIn is freezeSorted with the CSR columns drawn from alloc
+// (nil means the heap); the graph keeps alloc for its lazy adjacency
+// builds. The triples slice is stored as passed — callers that want it
+// allocator-backed allocate it themselves.
+func freezeSortedIn(alloc Allocator, name string, labels []Label, triples []Triple) *Graph {
+	g := &Graph{name: name, nnodes: len(labels), labels: labels, triples: triples, ntrip: len(triples), alloc: alloc}
+	g.outIndex = g.allocIndex(len(labels) + 1)
 	for _, t := range triples {
 		g.outIndex[t.S+1]++
 	}
 	for i := 1; i <= len(labels); i++ {
 		g.outIndex[i] += g.outIndex[i-1]
 	}
-	g.outEdges = make([]Edge, len(triples))
+	g.outEdges = g.allocEdges(len(triples))
 	cursor := make([]int32, len(labels))
 	copy(cursor, g.outIndex[:len(labels)])
 	for _, t := range triples {
@@ -454,10 +518,11 @@ func freezeSorted(name string, labels []Label, triples []Triple) *Graph {
 // not to; Union does not re-validate (a union of two RDF graphs is
 // legitimately *not* an RDF graph, since labels may repeat across sides).
 func (g *Graph) Validate() error {
-	seenURI := make(map[string]NodeID, len(g.labels))
+	seenURI := make(map[string]NodeID, g.nnodes)
 	seenLit := make(map[string]NodeID)
-	for i, l := range g.labels {
+	for i := 0; i < g.nnodes; i++ {
 		n := NodeID(i)
+		l := g.Label(n)
 		switch l.Kind {
 		case URI:
 			if m, ok := seenURI[l.Value]; ok {
@@ -471,16 +536,17 @@ func (g *Graph) Validate() error {
 			seenLit[l.Value] = n
 		}
 	}
-	for _, t := range g.Triples() {
-		if g.labels[t.P].Kind == Blank {
-			return fmt.Errorf("rdf: graph %q: triple (%d,%d,%d) has blank predicate", g.name, t.S, t.P, t.O)
+	var verr error
+	g.EachTriple(func(t Triple) bool {
+		switch {
+		case g.Kind(t.P) == Blank:
+			verr = fmt.Errorf("rdf: graph %q: triple (%d,%d,%d) has blank predicate", g.name, t.S, t.P, t.O)
+		case g.Kind(t.P) == Literal:
+			verr = fmt.Errorf("rdf: graph %q: triple (%d,%d,%d) has literal predicate %s", g.name, t.S, t.P, t.O, g.Label(t.P))
+		case g.Kind(t.S) == Literal:
+			verr = fmt.Errorf("rdf: graph %q: triple (%d,%d,%d) has literal subject %s", g.name, t.S, t.P, t.O, g.Label(t.S))
 		}
-		if g.labels[t.P].Kind == Literal {
-			return fmt.Errorf("rdf: graph %q: triple (%d,%d,%d) has literal predicate %s", g.name, t.S, t.P, t.O, g.labels[t.P])
-		}
-		if g.labels[t.S].Kind == Literal {
-			return fmt.Errorf("rdf: graph %q: triple (%d,%d,%d) has literal subject %s", g.name, t.S, t.P, t.O, g.labels[t.S])
-		}
-	}
-	return nil
+		return verr == nil
+	})
+	return verr
 }

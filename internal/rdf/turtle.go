@@ -645,7 +645,7 @@ func WriteTurtle(w io.Writer, g *Graph) error {
 	}
 
 	term := func(n NodeID) string {
-		l := g.labels[n]
+		l := g.Label(n)
 		switch l.Kind {
 		case URI:
 			if l.Value == rdfTypeIRI {
@@ -672,29 +672,31 @@ func WriteTurtle(w io.Writer, g *Graph) error {
 		}
 	}
 
-	// Group triples by subject (already sorted by S, P, O).
-	ts := g.Triples()
-	for i := 0; i < len(ts); {
-		s := ts[i].S
-		fmt.Fprintf(bw, "%s ", term(s))
-		firstPred := true
-		for i < len(ts) && ts[i].S == s {
-			pnode := ts[i].P
-			if !firstPred {
-				bw.WriteString(" ;\n    ")
+	// Group triples by subject and predicate while streaming the stored
+	// (S, P, O)-sorted order; EachTriple avoids materialising the flat
+	// triple list for column-backed graphs.
+	started := false
+	var curS, curP NodeID
+	g.EachTriple(func(t Triple) bool {
+		switch {
+		case !started || t.S != curS:
+			if started {
+				bw.WriteString(" .\n")
 			}
-			firstPred = false
-			fmt.Fprintf(bw, "%s ", term(pnode))
-			firstObj := true
-			for i < len(ts) && ts[i].S == s && ts[i].P == pnode {
-				if !firstObj {
-					bw.WriteString(", ")
-				}
-				firstObj = false
-				bw.WriteString(term(ts[i].O))
-				i++
-			}
+			fmt.Fprintf(bw, "%s ", term(t.S))
+			fmt.Fprintf(bw, "%s ", term(t.P))
+			started = true
+		case t.P != curP:
+			bw.WriteString(" ;\n    ")
+			fmt.Fprintf(bw, "%s ", term(t.P))
+		default:
+			bw.WriteString(", ")
 		}
+		bw.WriteString(term(t.O))
+		curS, curP = t.S, t.P
+		return true
+	})
+	if started {
 		bw.WriteString(" .\n")
 	}
 	return bw.Flush()
@@ -712,7 +714,8 @@ func FormatTurtle(g *Graph) string {
 // derivePrefixes assigns short prefixes to namespaces used ≥ 3 times.
 func derivePrefixes(g *Graph) map[string]string {
 	count := map[string]int{}
-	for _, l := range g.labels {
+	for i := 0; i < g.NumNodes(); i++ {
+		l := g.Label(NodeID(i))
 		if l.Kind != URI || l.Value == rdfTypeIRI {
 			continue
 		}

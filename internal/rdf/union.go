@@ -27,19 +27,39 @@ const (
 )
 
 // Union builds the disjoint union of g1 and g2.
-func Union(g1, g2 *Graph) *Combined {
+func Union(g1, g2 *Graph) *Combined { return UnionIn(nil, g1, g2) }
+
+// UnionIn is Union with the big pointer-free columns (the combined triple
+// list and CSR adjacencies, including the lazily built ones) drawn from
+// alloc; nil means the Go heap. Each side's triples stream through
+// EachTriple, so a mapped operand never materialises its flat triple list.
+// The concatenation of the two sides is already sorted by (S, P, O) —
+// every G2 subject is offset past every G1 node — and each side is
+// duplicate-free with disjoint ID ranges, so the union freezes with a
+// linear CSR pass and no sort.
+func UnionIn(alloc Allocator, g1, g2 *Graph) *Combined {
 	off := NodeID(g1.NumNodes())
 	labels := make([]Label, 0, g1.NumNodes()+g2.NumNodes())
-	labels = append(labels, g1.labels...)
-	labels = append(labels, g2.labels...)
-	triples := make([]Triple, 0, g1.NumTriples()+g2.NumTriples())
-	triples = append(triples, g1.Triples()...)
-	for _, t := range g2.Triples() {
-		triples = append(triples, Triple{S: t.S + off, P: t.P + off, O: t.O + off})
+	labels = append(labels, g1.labelsAll()...)
+	labels = append(labels, g2.labelsAll()...)
+	nt := g1.NumTriples() + g2.NumTriples()
+	var triples []Triple
+	if alloc != nil {
+		triples = alloc.AllocTriples(nt)[:0]
+	} else {
+		triples = make([]Triple, 0, nt)
 	}
+	g1.EachTriple(func(t Triple) bool {
+		triples = append(triples, t)
+		return true
+	})
+	g2.EachTriple(func(t Triple) bool {
+		triples = append(triples, Triple{S: t.S + off, P: t.P + off, O: t.O + off})
+		return true
+	})
 	name := g1.name + "⊎" + g2.name
 	return &Combined{
-		Graph: freeze(name, labels, triples),
+		Graph: freezeSortedIn(alloc, name, labels, triples),
 		N1:    g1.NumNodes(),
 		N2:    g2.NumNodes(),
 		g1:    g1,

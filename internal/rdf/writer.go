@@ -72,13 +72,84 @@ func WriteNTriples(w io.Writer, g *Graph, opts ...WriteOption) error {
 	if o.chunk < 1 {
 		o.chunk = defaultWriteChunk
 	}
-	ts, rank, _ := canonicalOrder(g)
-	if o.workers > 1 && len(ts) > o.chunk {
-		return writeNTriplesParallel(w, g, ts, rank, o)
+	seq := tripleSeq{g: g}
+	var rank []NodeID
+	if !identityCanonical(g) {
+		ts, r, _ := canonicalOrder(g)
+		seq = tripleSeq{g: g, ts: ts}
+		rank = r
+	}
+	if o.workers > 1 && seq.len() > o.chunk {
+		return writeNTriplesParallel(w, g, seq, rank, o)
 	}
 	bw := bufio.NewWriterSize(w, 1<<16)
-	writeTripleRange(bw, g, ts, rank)
+	writeTripleRange(bw, g, seq, 0, seq.len(), rank)
 	return bw.Flush()
+}
+
+// identityCanonical reports whether the graph's stored triple order is
+// already the canonical emission order under the identity renumbering —
+// that is, the first occurrence of every node in the (S, P, O)-sorted
+// triple stream is exactly its own ID. Graphs built by parsing or loaded
+// from snapshots always satisfy this (the parser assigns IDs in first-
+// occurrence order and the freeze sort is a parse fixpoint), which lets
+// the writer stream straight from the CSR without materialising the flat
+// triple list or a rank permutation. The scan is allocation-free: having
+// only ever granted rank next to node next, the seen set is always the
+// prefix [0, next), so "unseen" is the single comparison n >= next.
+func identityCanonical(g *Graph) bool {
+	next := NodeID(0)
+	ok := true
+	g.EachTriple(func(t Triple) bool {
+		for _, n := range [3]NodeID{t.S, t.P, t.O} {
+			if n >= next {
+				if n != next {
+					ok = false
+					return false
+				}
+				next++
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// tripleSeq is the triple stream the formatting core iterates: either an
+// explicit reordered list (ts non-nil, the canonicalOrder fall-back) or
+// the graph's own CSR in stored order (the identity-canonical fast path,
+// which never materialises the list).
+type tripleSeq struct {
+	g  *Graph
+	ts []Triple
+}
+
+func (s tripleSeq) len() int {
+	if s.ts != nil {
+		return len(s.ts)
+	}
+	return s.g.NumTriples()
+}
+
+// each calls fn for triples [lo, hi) of the sequence. On the CSR path the
+// starting subject is found by binary search, so parallel chunk workers
+// can start mid-stream in O(log n).
+func (s tripleSeq) each(lo, hi int, fn func(Triple)) {
+	if s.ts != nil {
+		for _, t := range s.ts[lo:hi] {
+			fn(t)
+		}
+		return
+	}
+	g := s.g
+	sub := sort.Search(g.nnodes, func(i int) bool { return int(g.outIndex[i+1]) > lo })
+	for i := lo; i < hi; i++ {
+		for int(g.outIndex[sub+1]) <= i {
+			sub++
+		}
+		e := g.outEdges[i]
+		fn(Triple{S: NodeID(sub), P: e.P, O: e.O})
+	}
 }
 
 // maxCanonIters bounds the canonical-order fixpoint iteration. Empirical
@@ -99,7 +170,7 @@ const maxCanonIters = 64
 // deterministic, just not parse-stable).
 func canonicalOrder(g *Graph) ([]Triple, []NodeID, bool) {
 	ts := g.Triples()
-	n := len(g.labels)
+	n := g.NumNodes()
 	rank := make([]NodeID, n)
 	for i := range rank {
 		rank[i] = NodeID(i)
@@ -177,8 +248,8 @@ func FormatNTriples(g *Graph) string {
 // worker pool and writes them strictly in chunk order, so the output bytes
 // match the sequential writer exactly. Memory is bounded by one chunk
 // buffer per worker.
-func writeNTriplesParallel(w io.Writer, g *Graph, ts []Triple, rank []NodeID, o writeOpts) error {
-	nchunks := (len(ts) + o.chunk - 1) / o.chunk
+func writeNTriplesParallel(w io.Writer, g *Graph, seq tripleSeq, rank []NodeID, o writeOpts) error {
+	nchunks := (seq.len() + o.chunk - 1) / o.chunk
 	workers := o.workers
 	if workers > nchunks {
 		workers = nchunks
@@ -204,11 +275,11 @@ func writeNTriplesParallel(w io.Writer, g *Graph, ts []Triple, rank []NodeID, o 
 			for i := range jobs {
 				lo := i * o.chunk
 				hi := lo + o.chunk
-				if hi > len(ts) {
-					hi = len(ts)
+				if hi > seq.len() {
+					hi = seq.len()
 				}
 				buf.Reset()
-				writeTripleRange(&buf, g, ts[lo:hi], rank)
+				writeTripleRange(&buf, g, seq, lo, hi, rank)
 				ow.write(i, buf.Bytes())
 			}
 		}()
@@ -259,21 +330,21 @@ func (ow *orderedChunkWriter) failed() bool {
 	return ow.err != nil
 }
 
-// writeTripleRange formats a run of triples; blank labels come from the
-// canonical rank permutation.
-func writeTripleRange(w ntSink, g *Graph, ts []Triple, rank []NodeID) {
-	for _, t := range ts {
+// writeTripleRange formats triples [lo, hi) of the sequence; blank labels
+// come from the canonical rank permutation (nil means the identity).
+func writeTripleRange(w ntSink, g *Graph, seq tripleSeq, lo, hi int, rank []NodeID) {
+	seq.each(lo, hi, func(t Triple) {
 		writeTerm(w, g, t.S, rank)
 		w.WriteByte(' ')
 		writeTerm(w, g, t.P, rank)
 		w.WriteByte(' ')
 		writeTerm(w, g, t.O, rank)
 		w.WriteString(" .\n")
-	}
+	})
 }
 
 func writeTerm(w ntSink, g *Graph, n NodeID, rank []NodeID) {
-	l := g.labels[n]
+	l := g.Label(n)
 	switch l.Kind {
 	case URI:
 		w.WriteByte('<')
@@ -284,8 +355,12 @@ func writeTerm(w ntSink, g *Graph, n NodeID, rank []NodeID) {
 		escapeInto(w, l.Value, false)
 		w.WriteByte('"')
 	default:
+		r := n
+		if rank != nil {
+			r = rank[n]
+		}
 		w.WriteString("_:b")
-		w.WriteString(strconv.FormatInt(int64(rank[n]), 10))
+		w.WriteString(strconv.FormatInt(int64(r), 10))
 	}
 }
 

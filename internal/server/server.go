@@ -33,7 +33,8 @@ type Config struct {
 	// slot. Non-positive selects 10s.
 	QueryTimeout time.Duration
 	// MaxUploadBytes bounds request bodies (snapshots, N-Triples,
-	// deltas). Non-positive selects 1 GiB.
+	// deltas); oversized uploads are rejected with 413 before they can
+	// balloon the heap. Non-positive selects DefaultMaxUploadBytes.
 	MaxUploadBytes int64
 	// JobHistory bounds the terminal jobs retained per archive: older
 	// terminal jobs are evicted from the job table (GET /jobs/{id} then
@@ -77,7 +78,7 @@ func New(cfg Config) (*Server, error) {
 		cfg.QueryTimeout = 10 * time.Second
 	}
 	if cfg.MaxUploadBytes <= 0 {
-		cfg.MaxUploadBytes = 1 << 30
+		cfg.MaxUploadBytes = DefaultMaxUploadBytes
 	}
 	s := &Server{
 		cfg:    cfg,
@@ -465,14 +466,37 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) error {
 	return nil
 }
 
+// DefaultMaxUploadBytes is the request-body bound when the configuration
+// leaves MaxUploadBytes unset: large enough for multi-million-triple
+// snapshot uploads, small enough that one errant PUT cannot take the
+// process down.
+const DefaultMaxUploadBytes = 256 << 20
+
+// ErrBodyTooLarge is wrapped by readBody when a request body exceeds
+// MaxUploadBytes; handlers map it to 413 Request Entity Too Large.
+var ErrBodyTooLarge = errors.New("request body too large")
+
 // readBody slurps a size-capped request body.
 func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
 	defer r.Body.Close()
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
 	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, fmt.Errorf("%w: body exceeds the server's %d-byte upload limit (-max-body-bytes)", ErrBodyTooLarge, mbe.Limit)
+		}
 		return nil, fmt.Errorf("read body: %w", err)
 	}
 	return data, nil
+}
+
+// bodyStatus maps a readBody error to its HTTP status: 413 for an
+// oversized body, 400 for anything else wrong with reading it.
+func bodyStatus(err error) int {
+	if errors.Is(err, ErrBodyTooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 // parseGraphBody decodes an uploaded graph: a binary graph snapshot when
@@ -499,7 +523,7 @@ func (s *Server) handlePutArchive(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	data, err := s.readBody(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, bodyStatus(err), err.Error())
 		return
 	}
 	var arch *rdfalign.Archive
@@ -552,7 +576,7 @@ func (s *Server) handlePostVersion(w http.ResponseWriter, r *http.Request) {
 	}
 	data, err := s.readBody(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, bodyStatus(err), err.Error())
 		return
 	}
 	g, err := parseGraphBody(data, fmt.Sprintf("%s-upload", name))
@@ -582,7 +606,7 @@ func (s *Server) handlePostDelta(w http.ResponseWriter, r *http.Request) {
 	}
 	data, err := s.readBody(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, bodyStatus(err), err.Error())
 		return
 	}
 	script, err := rdfalign.ParseEditScript(bytes.NewReader(data))

@@ -378,3 +378,34 @@ func mustStream(t testing.TB, cfg rdfalign.StreamConfig) *rdfalign.Graph {
 	}
 	return mustParse(t, sb.String(), fmt.Sprintf("stream-v%d", cfg.Version))
 }
+
+// TestServerUploadLimit: bodies over MaxUploadBytes are rejected with 413
+// and an error naming the limit, on every body-accepting endpoint; bodies
+// under the limit are unaffected.
+func TestServerUploadLimit(t *testing.T) {
+	s := newTestServer(t, Config{MaxUploadBytes: int64(len(triplesV0)) + 4})
+	big := triplesV0 + triplesV1 + strings.Repeat("# pad\n", 16)
+	// Create the archive first: the version/delta endpoints resolve the
+	// archive before touching the body.
+	if w := do(t, s, "PUT", "/archives/big", triplesV0, nil); w.Code/100 != 2 {
+		t.Fatalf("setup PUT: status %d (body %q)", w.Code, w.Body.String())
+	}
+	for _, ep := range []struct{ method, path string }{
+		{"PUT", "/archives/big"},
+		{"POST", "/archives/big/versions"},
+		{"POST", "/archives/big/deltas"},
+	} {
+		var body map[string]string
+		w := do(t, s, ep.method, ep.path, big, &body)
+		if w.Code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s %s with oversized body: status %d, want 413 (body %q)", ep.method, ep.path, w.Code, w.Body.String())
+		}
+		if !strings.Contains(body["error"], "upload limit") || !strings.Contains(body["error"], fmt.Sprint(len(triplesV0)+4)) {
+			t.Fatalf("%s %s: error %q does not name the upload limit", ep.method, ep.path, body["error"])
+		}
+	}
+	// An in-limit body still works: the oversized attempts left no state.
+	if w := do(t, s, "PUT", "/archives/big", triplesV0, nil); w.Code/100 != 2 {
+		t.Fatalf("in-limit PUT: status %d (body %q)", w.Code, w.Body.String())
+	}
+}

@@ -68,6 +68,7 @@ const (
 // Section IDs, chosen to read as 4-character tags in a hex dump.
 const (
 	secGraph         = uint32('G')<<24 | uint32('R')<<16 | uint32('P')<<8 | uint32('H')
+	secGraphMapped   = uint32('G')<<24 | uint32('R')<<16 | uint32('P')<<8 | uint32('M')
 	secArchiveMeta   = uint32('A')<<24 | uint32('M')<<16 | uint32('E')<<8 | uint32('T')
 	secArchiveLabels = uint32('A')<<24 | uint32('L')<<16 | uint32('B')<<8 | uint32('L')
 	secArchiveRows   = uint32('A')<<24 | uint32('R')<<16 | uint32('O')<<8 | uint32('W')

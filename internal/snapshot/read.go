@@ -33,6 +33,12 @@ func ReadGraph(r io.Reader) (*rdf.Graph, error) {
 				return nil, err
 			}
 		}
+		if id == secGraphMapped && g == nil {
+			g, err = decodeMappedGraphBody(&cursor{data: payload, base: base})
+			if err != nil {
+				return nil, err
+			}
+		}
 		if id == secFooter {
 			if err := sr.trailer(); err != nil {
 				return nil, err
@@ -55,6 +61,13 @@ func ReadGraphAt(r io.ReaderAt, size int64) (*rdf.Graph, error) {
 	f, err := openReaderAt(r, size)
 	if err != nil {
 		return nil, err
+	}
+	if f.has(secGraphMapped, 0) && !f.has(secGraph, 0) {
+		c, err := f.section(secGraphMapped, 0)
+		if err != nil {
+			return nil, err
+		}
+		return decodeMappedGraphBody(c)
 	}
 	c, err := f.section(secGraph, 0)
 	if err != nil {
@@ -343,6 +356,16 @@ func (f *file) sectionAt(off int64, wantID uint32) (*cursor, error) {
 		return nil, corrupt(off, "section %s CRC mismatch: computed %08x, stored %08x", sectionName(id), got, want)
 	}
 	return &cursor{data: payload, base: off + int64(secHdrSize)}, nil
+}
+
+// has reports whether the footer table lists section (id, index).
+func (f *file) has(id, index uint32) bool {
+	for _, e := range f.table {
+		if e.id == id && e.index == index {
+			return true
+		}
+	}
+	return false
 }
 
 // section locates (id, index) through the footer table.

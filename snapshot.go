@@ -50,6 +50,33 @@ func ReadGraphSnapshotFile(path string) (*Graph, error) {
 	return snapshot.ReadGraphFile(path)
 }
 
+// WriteGraphSnapshotMapped serialises g as an mmap-native snapshot: the
+// graph columns are written as fixed-width, alignment-padded arrays that
+// OpenGraphSnapshotMapped can serve zero-copy straight from a file
+// mapping. Deterministic like WriteGraphSnapshot; readable by every
+// snapshot reader (the mapped section is a forward-compatible addition,
+// heap-decoded by ReadGraphSnapshot).
+func WriteGraphSnapshotMapped(w io.Writer, g *Graph) error {
+	return snapshot.WriteGraphMapped(w, g)
+}
+
+// WriteGraphSnapshotMappedFile writes an mmap-native graph snapshot to
+// path.
+func WriteGraphSnapshotMappedFile(path string, g *Graph) error {
+	return snapshot.WriteGraphMappedFile(path, g)
+}
+
+// OpenGraphSnapshotMapped maps the snapshot at path and serves the graph's
+// columns directly from the mapping: after header and checksum
+// validation, opening costs O(1) heap regardless of graph size, and the
+// kernel pages triples in on demand (and out under memory pressure).
+// Falls back to the heap decoder when the platform lacks mmap or the file
+// has no mapped section (plain WriteGraphSnapshot output), so it is safe
+// to use unconditionally. Close the returned graph to unmap.
+func OpenGraphSnapshotMapped(path string) (*Graph, error) {
+	return snapshot.OpenGraphMapped(path)
+}
+
 // WriteArchiveSnapshot serialises an archive: its entity/row columns plus
 // one materialised graph section per version, seekable through the file
 // footer.
